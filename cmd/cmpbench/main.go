@@ -1,0 +1,162 @@
+// Command cmpbench regenerates the paper's evaluation: Table 1 and Figures
+// 14-19. Each experiment prints the same rows/series the paper reports;
+// absolute numbers differ from a 1999 Ultra SPARC 10, but the shape — which
+// algorithm wins, by what factor, where the crossovers fall — is the claim
+// being reproduced.
+//
+// Usage:
+//
+//	cmpbench                         # every experiment at laptop scale
+//	cmpbench -exp fig16              # one experiment
+//	cmpbench -exp table1 -full       # paper-scale record counts
+//	cmpbench -disk -dir /tmp/cmp     # train from on-disk record stores
+//	cmpbench -csv > results.csv      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmpdt/internal/experiments"
+	"cmpdt/internal/synth"
+)
+
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve"}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
+	full := flag.Bool("full", false, "paper-scale record counts (200k-2.5M; slow)")
+	disk := flag.Bool("disk", false, "train from on-disk record stores")
+	dir := flag.String("dir", "", "directory for -disk dataset files (default: OS temp dir)")
+	n := flag.Int("n", 0, "override the Table 1 record count for the Agrawal rows")
+	sizes := flag.String("sizes", "", "override sweep sizes, comma-separated (e.g. 50000,100000)")
+	intervals := flag.Int("intervals", 100, "equal-depth intervals per attribute")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	csv := flag.Bool("csv", false, "emit CSV rows instead of aligned tables")
+	flag.Parse()
+
+	opts := experiments.Defaults()
+	if *full {
+		opts = experiments.PaperScale()
+	}
+	if *n != 0 {
+		opts.N = *n
+	}
+	if *sizes != "" {
+		opts.Sizes = opts.Sizes[:0]
+		for _, s := range strings.Split(*sizes, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "cmpbench: bad size %q\n", s)
+				os.Exit(2)
+			}
+			opts.Sizes = append(opts.Sizes, v)
+		}
+	}
+	opts.Intervals = *intervals
+	opts.Seed = *seed
+	opts.UseDisk = *disk
+	opts.Dir = *dir
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := opts.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 1: split fidelity (CMP vs exact; '-' = identical) ==")
+			experiments.PrintTable1(os.Stdout, rows)
+			return nil
+		case "fig14", "fig15":
+			fn := synth.F2
+			if name == "fig15" {
+				fn = synth.F7
+			}
+			rows, err := opts.Scalability(fn)
+			if err != nil {
+				return err
+			}
+			return emit(name, "scalability of the CMP family", rows, *csv)
+		case "fig16", "fig17":
+			fn := synth.F2
+			if name == "fig17" {
+				fn = synth.F7
+			}
+			rows, err := opts.Comparison(fn)
+			if err != nil {
+				return err
+			}
+			return emit(name, "CMP vs SPRINT / RainForest / CLOUDS", rows, *csv)
+		case "fig18":
+			rows, err := opts.FunctionF()
+			if err != nil {
+				return err
+			}
+			return emit(name, "linearly-correlated Function f", rows, *csv)
+		case "fig19":
+			rows, err := opts.Memory()
+			if err != nil {
+				return err
+			}
+			return emit(name, "peak memory", rows, *csv)
+		case "accuracy":
+			rows, err := opts.Accuracy()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Accuracy: held-out accuracy under 5% label noise ==")
+			experiments.PrintAccuracy(os.Stdout, rows)
+			return nil
+		case "fig2":
+			curve, err := opts.GiniCurve(synth.F2, "salary")
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Figure 2: gini estimation and alive intervals (salary, Function 2) ==")
+			experiments.PrintGiniCurve(os.Stdout, curve)
+			return nil
+		case "trees":
+			uni, multi, err := opts.TreesComparison()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Figures 9 and 13: univariate vs multivariate trees on Function f ==")
+			experiments.PrintTrees(os.Stdout, uni, multi)
+			return nil
+		case "curve":
+			rows, err := opts.LearningCurve(synth.F7)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Learning curve: accuracy vs training size (Function 7) ==")
+			experiments.PrintLearningCurve(os.Stdout, rows)
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := experimentNames
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		if err := run(strings.TrimSpace(name)); err != nil {
+			fmt.Fprintln(os.Stderr, "cmpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func emit(name, title string, rows []experiments.Row, csv bool) error {
+	if csv {
+		return experiments.WriteCSVRows(os.Stdout, rows)
+	}
+	fmt.Printf("== %s: %s ==\n", strings.ToUpper(name[:1])+name[1:], title)
+	experiments.PrintRows(os.Stdout, rows)
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command cmpclassify applies a saved tree model (see cmptrain -save or the
+// library's Tree.SaveModel) to records and writes predictions.
+//
+// Input records come as CSV with a header row naming the model's attributes
+// (a trailing "class" column, if present, is used to report accuracy).
+// Output is the input CSV with a "predicted" column appended.
+//
+// Usage:
+//
+//	cmpclassify -model tree.json < records.csv > predictions.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"cmpdt"
+)
+
+func main() {
+	model := flag.String("model", "", "path to a saved tree model (required)")
+	flag.Parse()
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "cmpclassify: -model is required")
+		os.Exit(2)
+	}
+	if err := run(*model, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpclassify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath string, in io.Reader, out io.Writer) error {
+	tree, err := cmpdt.LoadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	schema := tree.ModelSchema()
+
+	cr := csv.NewReader(in)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("reading header: %w", err)
+	}
+	// Map model attributes to input columns by name.
+	colOf := make([]int, len(schema.Attrs))
+	for i, a := range schema.Attrs {
+		colOf[i] = -1
+		for j, h := range header {
+			if h == a.Name {
+				colOf[i] = j
+				break
+			}
+		}
+		if colOf[i] == -1 {
+			return fmt.Errorf("input lacks attribute column %q", a.Name)
+		}
+	}
+	classCol := -1
+	for j, h := range header {
+		if h == "class" {
+			classCol = j
+		}
+	}
+	catIdx := make([]map[string]int, len(schema.Attrs))
+	for i, a := range schema.Attrs {
+		if a.Values != nil {
+			m := make(map[string]int, len(a.Values))
+			for v, name := range a.Values {
+				m[name] = v
+			}
+			catIdx[i] = m
+		}
+	}
+
+	cw := csv.NewWriter(out)
+	if err := cw.Write(append(header, "predicted")); err != nil {
+		return err
+	}
+
+	vals := make([]float64, len(schema.Attrs))
+	total, correct := 0, 0
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		for i := range schema.Attrs {
+			cell := rec[colOf[i]]
+			if m := catIdx[i]; m != nil {
+				v, ok := m[cell]
+				if !ok {
+					return fmt.Errorf("line %d: unknown category %q for %q", line, cell, schema.Attrs[i].Name)
+				}
+				vals[i] = float64(v)
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("line %d, attribute %q: %w", line, schema.Attrs[i].Name, err)
+			}
+			vals[i] = v
+		}
+		pred := tree.PredictClass(vals)
+		if err := cw.Write(append(rec, pred)); err != nil {
+			return err
+		}
+		if classCol >= 0 {
+			total++
+			if rec[classCol] == pred {
+				correct++
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "accuracy %.4f over %d labeled records\n",
+			float64(correct)/float64(total), total)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmpdt"
+)
+
+func trainedModel(t *testing.T) (string, cmpdt.Schema) {
+	t.Helper()
+	schema := cmpdt.Schema{
+		Attrs: []cmpdt.Attr{
+			{Name: "x"},
+			{Name: "kind", Values: []string{"a", "b"}},
+		},
+		Classes: []string{"lo", "hi"},
+	}
+	ds, err := cmpdt.NewDataset(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		x := rng.Float64() * 100
+		label := 0
+		if x > 50 {
+			label = 1
+		}
+		ds.Append([]float64{x, float64(i % 2)}, label)
+	}
+	tree, err := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := tree.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, schema
+}
+
+func TestClassifyRun(t *testing.T) {
+	model, _ := trainedModel(t)
+	in := strings.NewReader("x,kind,class\n10,a,lo\n90,b,hi\n30,a,hi\n")
+	var out bytes.Buffer
+	if err := run(model, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d output lines", len(lines))
+	}
+	if !strings.HasSuffix(lines[0], ",predicted") {
+		t.Errorf("header %q lacks predicted column", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], ",lo") || !strings.HasSuffix(lines[2], ",hi") {
+		t.Errorf("predictions wrong:\n%s", out.String())
+	}
+}
+
+func TestClassifyColumnMapping(t *testing.T) {
+	model, _ := trainedModel(t)
+	// Columns in a different order, with an extra one; no class column.
+	in := strings.NewReader("extra,kind,x\nfoo,b,95\n")
+	var out bytes.Buffer
+	if err := run(model, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "foo,b,95,hi") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	model, _ := trainedModel(t)
+	cases := []string{
+		"kind,class\na,lo\n",  // missing attribute column
+		"x,kind\n10,zebra\n",  // unknown category
+		"x,kind\nnotanum,a\n", // bad numeric
+	}
+	for i, in := range cases {
+		var out bytes.Buffer
+		if err := run(model, strings.NewReader(in), &out); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), strings.NewReader("x\n"), &bytes.Buffer{}); err == nil {
+		t.Error("missing model accepted")
+	}
+}

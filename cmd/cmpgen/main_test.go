@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmpdt/internal/storage"
+)
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("2", "", 50, 1, 0, "", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 51 {
+		t.Fatalf("%d lines, want header + 50", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "salary,commission,age") {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestRunBinaryStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f7.rec")
+	if err := run("7", "", 200, 3, 0, path, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := storage.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 200 {
+		t.Errorf("NumRecords = %d", f.NumRecords())
+	}
+}
+
+func TestRunStatlog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("", "segment", 0, 1, 0, "", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2311 {
+		t.Errorf("%d lines for segment, want 2311", lines)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("99", "", 10, 1, 0, "", true, &bytes.Buffer{}); err == nil {
+		t.Error("bad function accepted")
+	}
+	if err := run("2", "", 10, 1, 0, "", false, nil); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("", "nope", 0, 1, 0, "", true, &bytes.Buffer{}); err == nil {
+		t.Error("bad statlog name accepted")
+	}
+}

@@ -1,0 +1,465 @@
+// Package cmpdt is a decision-tree classification library for large,
+// disk-resident training sets, reproducing "CMP: A Fast Decision Tree
+// Classifier Using Multivariate Predictions" (Wang & Zaniolo, ICDE 2000).
+//
+// The package trains binary decision trees whose internal nodes test a
+// numeric threshold, a categorical subset, or — uniquely to CMP — a linear
+// combination of two numeric attributes. Three variants are offered:
+//
+//   - CMPS keeps one-dimensional equal-depth interval histograms and
+//     resolves exact split points through alive-interval buffering, one
+//     dataset scan per tree level.
+//   - CMPB keeps bivariate histogram matrices sharing a predicted X-axis
+//     attribute and can grow two tree levels per scan.
+//   - CMP adds linear-combination (oblique) splits searched on the
+//     matrices.
+//
+// Baseline classifiers from the paper's evaluation (SPRINT, CLOUDS,
+// RainForest RF-Hybrid) live in internal packages and are exposed through
+// the benchmark harness in cmd/cmpbench.
+//
+// # Quick start
+//
+//	schema := cmpdt.Schema{
+//		Attrs:   []cmpdt.Attr{{Name: "age"}, {Name: "salary"}},
+//		Classes: []string{"no", "yes"},
+//	}
+//	ds, _ := cmpdt.NewDataset(schema)
+//	ds.Append([]float64{23, 30000}, 0)
+//	ds.Append([]float64{49, 90000}, 1)
+//	// ... many more records ...
+//	tree, _ := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMP})
+//	label := tree.Predict([]float64{35, 70000})
+package cmpdt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"cmpdt/internal/core"
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/eval"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/tree"
+)
+
+// Algorithm selects the CMP variant to train with.
+type Algorithm int
+
+const (
+	// CMPS is the single-variable variant.
+	CMPS Algorithm = iota
+	// CMPB adds bivariate matrices and split prediction.
+	CMPB
+	// CMP is the full algorithm with linear-combination splits.
+	CMP
+)
+
+// String names the variant the way the paper does.
+func (a Algorithm) String() string { return coreAlgo(a).String() }
+
+func coreAlgo(a Algorithm) core.Algorithm {
+	switch a {
+	case CMPB:
+		return core.CMPB
+	case CMP:
+		return core.CMPFull
+	default:
+		return core.CMPS
+	}
+}
+
+// Attr describes one predictive attribute. A nil Values slice means the
+// attribute is numeric (ordered); otherwise it is categorical with the
+// given value names.
+type Attr struct {
+	Name   string
+	Values []string
+}
+
+// Schema describes a dataset: its attributes and class labels.
+type Schema struct {
+	Attrs   []Attr
+	Classes []string
+}
+
+func (s Schema) internal() *dataset.Schema {
+	out := &dataset.Schema{Classes: append([]string(nil), s.Classes...)}
+	for _, a := range s.Attrs {
+		kind := dataset.Numeric
+		if a.Values != nil {
+			kind = dataset.Categorical
+		}
+		out.Attrs = append(out.Attrs, dataset.Attribute{
+			Name:   a.Name,
+			Kind:   kind,
+			Values: append([]string(nil), a.Values...),
+		})
+	}
+	return out
+}
+
+func externalSchema(s *dataset.Schema) Schema {
+	out := Schema{Classes: append([]string(nil), s.Classes...)}
+	for i := range s.Attrs {
+		a := Attr{Name: s.Attrs[i].Name}
+		if s.Attrs[i].Kind == dataset.Categorical {
+			a.Values = append([]string(nil), s.Attrs[i].Values...)
+		}
+		out.Attrs = append(out.Attrs, a)
+	}
+	return out
+}
+
+// Dataset is an in-memory training set.
+type Dataset struct {
+	tbl *dataset.Table
+}
+
+// NewDataset creates an empty dataset with the given schema.
+func NewDataset(s Schema) (*Dataset, error) {
+	tbl, err := dataset.New(s.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{tbl: tbl}, nil
+}
+
+// Append adds one record: one float64 per attribute (categorical values as
+// their index in Attr.Values) and the class label index.
+func (d *Dataset) Append(vals []float64, label int) error {
+	return d.tbl.Append(vals, label)
+}
+
+// AppendLabeled is Append with a symbolic class label.
+func (d *Dataset) AppendLabeled(vals []float64, class string) error {
+	for i, c := range d.tbl.Schema().Classes {
+		if c == class {
+			return d.tbl.Append(vals, i)
+		}
+	}
+	return fmt.Errorf("cmpdt: unknown class %q", class)
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return d.tbl.NumRecords() }
+
+// Schema returns the dataset's schema.
+func (d *Dataset) Schema() Schema { return externalSchema(d.tbl.Schema()) }
+
+// ReadCSV loads a dataset from CSV: a header row naming every attribute
+// plus a final "class" column, then one row per record.
+func ReadCSV(r io.Reader, s Schema) (*Dataset, error) {
+	tbl, err := dataset.ReadCSV(r, s.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{tbl: tbl}, nil
+}
+
+// WriteCSV writes the dataset in the format ReadCSV accepts.
+func (d *Dataset) WriteCSV(w io.Writer) error { return d.tbl.WriteCSV(w) }
+
+// Split partitions the dataset into train and test subsets with a
+// deterministic shuffle.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	tr, te := dataset.TrainTestSplit(d.tbl, trainFrac, seed)
+	return &Dataset{tbl: tr}, &Dataset{tbl: te}
+}
+
+// SaveFile stores the dataset in the binary record format used for
+// disk-resident training (see TrainFile).
+func (d *Dataset) SaveFile(path string) error {
+	_, err := storage.WriteTable(path, d.tbl)
+	return err
+}
+
+// Config tunes training. The zero value selects the paper's defaults.
+type Config struct {
+	// Algorithm selects CMP-S, CMP-B or full CMP.
+	Algorithm Algorithm
+	// Intervals is the number of equal-depth intervals per numeric
+	// attribute (default 100; the paper uses 100-120).
+	Intervals int
+	// MaxAlive bounds the alive intervals kept per split (default 2).
+	MaxAlive int
+	// MaxDepth caps tree depth (default 32).
+	MaxDepth int
+	// InMemoryNodeRecords finishes subtrees in memory once a node has at
+	// most this many records (default 4096; negative disables).
+	InMemoryNodeRecords int
+	// DisablePruning turns off the PUBLIC(1) MDL pruning pass.
+	DisablePruning bool
+	// ObliqueAllPairs extends full CMP with matrices over every numeric
+	// attribute pair, lifting the paper's N-1-matrices limitation.
+	ObliqueAllPairs bool
+	// Seed drives sampling and the root's random X-axis (default 1).
+	Seed int64
+}
+
+func (c Config) internal() core.Config {
+	cfg := core.Default(coreAlgo(c.Algorithm))
+	if c.Intervals != 0 {
+		cfg.Intervals = c.Intervals
+	}
+	if c.MaxAlive != 0 {
+		cfg.MaxAlive = c.MaxAlive
+	}
+	if c.MaxDepth != 0 {
+		cfg.MaxDepth = c.MaxDepth
+	}
+	if c.InMemoryNodeRecords != 0 {
+		cfg.InMemoryNodeRecords = c.InMemoryNodeRecords
+	}
+	cfg.Prune = !c.DisablePruning
+	cfg.ObliqueAllPairs = c.ObliqueAllPairs
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	return cfg
+}
+
+// Stats reports how a training run behaved.
+type Stats struct {
+	// Scans is the number of sequential passes over the training set.
+	Scans int
+	// BufferedRecords counts records routed through alive-interval buffers.
+	BufferedRecords int64
+	// PeakMemoryBytes is the peak histogram-plus-buffer footprint.
+	PeakMemoryBytes int64
+	// PredictionHits and PredictionTotal measure the split predictor.
+	PredictionHits, PredictionTotal int
+	// DoubleSplits counts two-levels-in-one-scan events.
+	DoubleSplits int
+	// ObliqueSplits counts linear-combination splits in the final tree.
+	ObliqueSplits int
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	t *tree.Tree
+}
+
+// Predict classifies one record and returns its class index.
+func (t *Tree) Predict(vals []float64) int { return t.t.Predict(vals) }
+
+// PredictClass classifies one record and returns its class name.
+func (t *Tree) PredictClass(vals []float64) string {
+	return t.t.Schema.Classes[t.t.Predict(vals)]
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.t.Leaves() }
+
+// Depth returns the tree depth in edges.
+func (t *Tree) Depth() int { return t.t.Depth() }
+
+// Size returns the total node count.
+func (t *Tree) Size() int { return t.t.Size() }
+
+// LinearSplits returns how many internal nodes use a linear-combination
+// test.
+func (t *Tree) LinearSplits() int { return t.t.CountLinearSplits() }
+
+// String renders the tree as an indented outline.
+func (t *Tree) String() string { return t.t.String() }
+
+// Accuracy returns the fraction of ds the tree classifies correctly.
+func (t *Tree) Accuracy(ds *Dataset) float64 { return eval.Accuracy(t.t, ds.tbl) }
+
+// Train builds a decision tree over an in-memory dataset.
+func Train(ds *Dataset, cfg Config) (*Tree, error) {
+	tr, _, err := TrainStats(ds, cfg)
+	return tr, err
+}
+
+// TrainStats is Train plus run statistics.
+func TrainStats(ds *Dataset, cfg Config) (*Tree, *Stats, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil, errors.New("cmpdt: empty dataset")
+	}
+	return trainSource(storage.NewMem(ds.tbl), cfg)
+}
+
+// TrainFile builds a decision tree over a disk-resident dataset previously
+// written with Dataset.SaveFile (or the cmpgen tool). The file is scanned
+// sequentially once per construction round, exactly as the paper's
+// disk-based setting.
+func TrainFile(path string, cfg Config) (*Tree, *Stats, error) {
+	f, err := storage.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainSource(f, cfg)
+}
+
+func trainSource(src storage.Source, cfg Config) (*Tree, *Stats, error) {
+	res, err := core.Build(src, cfg.internal())
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{
+		Scans:           res.Stats.Scans,
+		BufferedRecords: res.Stats.BufferedRecords,
+		PeakMemoryBytes: res.Stats.PeakMemoryBytes,
+		PredictionHits:  res.Stats.PredictionHits,
+		PredictionTotal: res.Stats.PredictionTotal,
+		DoubleSplits:    res.Stats.DoubleSplits,
+		ObliqueSplits:   res.Stats.ObliqueSplits,
+	}
+	return &Tree{t: res.Tree}, st, nil
+}
+
+// WriteModel serializes the trained tree as a self-contained JSON model
+// (schema included), readable by ReadModel and cmd/cmpclassify.
+func (t *Tree) WriteModel(w io.Writer) error { return t.t.WriteJSON(w) }
+
+// SaveModel stores the model at path.
+func (t *Tree) SaveModel(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadModel deserializes a model written by WriteModel.
+func ReadModel(r io.Reader) (*Tree, error) {
+	inner, err := tree.ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{t: inner}, nil
+}
+
+// LoadModel reads a model from a file.
+func LoadModel(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModel(f)
+}
+
+// ModelSchema returns the schema the model was trained with.
+func (t *Tree) ModelSchema() Schema { return externalSchema(t.t.Schema) }
+
+// Importance returns each attribute's gini importance (impurity decrease
+// contributed by its splits), normalized to sum to 1.
+func (t *Tree) Importance() []float64 { return t.t.Importance() }
+
+// WriteDOT renders the tree in Graphviz DOT format.
+func (t *Tree) WriteDOT(w io.Writer) error { return t.t.WriteDOT(w) }
+
+// Explain returns the split decisions a record follows from the root to its
+// predicted class.
+func (t *Tree) Explain(vals []float64) []string { return t.t.PathFor(vals) }
+
+// Report summarizes a tree's performance on a labeled dataset.
+type Report struct {
+	Accuracy float64
+	// Confusion counts records as [actual][predicted].
+	Confusion [][]int
+	// MacroF1 is the unweighted mean F1 over populated classes.
+	MacroF1 float64
+	// PerClass holds precision/recall/F1 per class, in schema order.
+	PerClass []ClassMetrics
+}
+
+// ClassMetrics holds one class's precision/recall/F1.
+type ClassMetrics struct {
+	Class     string
+	Support   int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluate computes a full classification report on ds.
+func (t *Tree) Evaluate(ds *Dataset) Report {
+	rep := eval.Evaluate(t.t, ds.tbl)
+	out := Report{Accuracy: rep.Accuracy, Confusion: rep.Confusion, MacroF1: rep.MacroF1}
+	for _, c := range rep.PerClass {
+		out.PerClass = append(out.PerClass, ClassMetrics(c))
+	}
+	return out
+}
+
+// CrossValidate runs k-fold cross-validation of the configured algorithm
+// over the dataset and returns the per-fold test accuracies.
+func CrossValidate(ds *Dataset, cfg Config, k int) (accuracies []float64, mean float64, err error) {
+	algoName := map[Algorithm]string{CMPS: "cmp-s", CMPB: "cmp-b", CMP: "cmp"}[cfg.Algorithm]
+	opts := eval.Options{
+		Intervals:           cfg.Intervals,
+		MaxAlive:            cfg.MaxAlive,
+		InMemoryNodeRecords: cfg.InMemoryNodeRecords,
+		ObliqueAllPairs:     cfg.ObliqueAllPairs,
+		PruneOff:            cfg.DisablePruning,
+		Seed:                cfg.Seed,
+		MaxDepth:            cfg.MaxDepth,
+	}
+	cv, err := eval.CrossValidate(algoName, ds.tbl, k, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, f := range cv.Folds {
+		accuracies = append(accuracies, f.Report.Accuracy)
+	}
+	return accuracies, cv.MeanAccuracy, nil
+}
+
+// StratifiedSplit partitions the dataset into train and test subsets while
+// preserving each class's proportion in both — use it when classes are
+// heavily skewed.
+func (d *Dataset) StratifiedSplit(trainFrac float64, seed int64) (train, test *Dataset) {
+	tr, te := dataset.StratifiedSplit(d.tbl, trainFrac, seed)
+	return &Dataset{tbl: tr}, &Dataset{tbl: te}
+}
+
+// PredictBatch classifies every record of ds concurrently and returns the
+// predicted class indices in record order. Tree traversal is read-only, so
+// the work shards safely across GOMAXPROCS goroutines.
+func (t *Tree) PredictBatch(ds *Dataset) []int {
+	n := ds.Len()
+	out := make([]int, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = t.t.Predict(ds.tbl.Row(i))
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = t.t.Predict(ds.tbl.Row(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

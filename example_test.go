@@ -1,0 +1,99 @@
+package cmpdt_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cmpdt"
+)
+
+// creditSchema is the running example: two numeric attributes and one
+// categorical, two classes.
+func creditSchema() cmpdt.Schema {
+	return cmpdt.Schema{
+		Attrs: []cmpdt.Attr{
+			{Name: "age"},
+			{Name: "income"},
+			{Name: "status", Values: []string{"new", "returning"}},
+		},
+		Classes: []string{"deny", "approve"},
+	}
+}
+
+// creditData generates a deterministic training set: approve iff age >= 30
+// and income >= 40000.
+func creditData(n int) *cmpdt.Dataset {
+	ds, err := cmpdt.NewDataset(creditSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		age := 18 + rng.Float64()*50
+		income := 10_000 + rng.Float64()*90_000
+		status := float64(rng.Intn(2))
+		label := 0
+		if age >= 30 && income >= 40_000 {
+			label = 1
+		}
+		if err := ds.Append([]float64{age, income, status}, label); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func ExampleTrain() {
+	ds := creditData(10_000)
+	tree, err := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMPB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.PredictClass([]float64{45, 80_000, 1}))
+	fmt.Println(tree.PredictClass([]float64{22, 80_000, 1}))
+	fmt.Println(tree.PredictClass([]float64{45, 20_000, 0}))
+	// Output:
+	// approve
+	// deny
+	// deny
+}
+
+func ExampleTree_Explain() {
+	ds := creditData(10_000)
+	tree, err := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMPS, MaxDepth: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := tree.Explain([]float64{22, 80_000, 1})
+	// The final step names the predicted class.
+	fmt.Println(steps[len(steps)-1])
+	// Output:
+	// => deny
+}
+
+func ExampleTree_Evaluate() {
+	ds := creditData(20_000)
+	train, test := ds.Split(0.8, 1)
+	tree, err := cmpdt.Train(train, cmpdt.Config{Algorithm: cmpdt.CMPS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := tree.Evaluate(test)
+	fmt.Printf("accuracy above 0.95: %v\n", rep.Accuracy > 0.95)
+	fmt.Printf("classes reported: %d\n", len(rep.PerClass))
+	// Output:
+	// accuracy above 0.95: true
+	// classes reported: 2
+}
+
+func ExampleCrossValidate() {
+	ds := creditData(5_000)
+	_, mean, err := cmpdt.CrossValidate(ds, cmpdt.Config{Algorithm: cmpdt.CMPS}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean accuracy above 0.95: %v\n", mean > 0.95)
+	// Output:
+	// mean accuracy above 0.95: true
+}

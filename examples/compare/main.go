@@ -1,0 +1,44 @@
+// The compare example reproduces the paper's core comparison in miniature:
+// every classifier in the repository trains on the same Agrawal Function 2
+// workload, and the program reports each one's scan count, simulated I/O
+// time, peak memory, tree shape and accuracy — the quantities behind
+// Figures 16 and 19.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/eval"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+func main() {
+	const n = 100_000
+	full := synth.Generate(synth.F2, n, 5)
+	train, test := dataset.TrainTestSplit(full, 0.8, 5)
+
+	fmt.Printf("Function 2, %d training records, %d test records\n\n",
+		train.NumRecords(), test.NumRecords())
+	fmt.Printf("%-11s %7s %8s %9s %8s %7s %7s %8s\n",
+		"algorithm", "scans", "sim(s)", "mem(MB)", "leaves", "depth", "train", "test")
+
+	for _, algo := range eval.Algorithms() {
+		src := storage.NewMem(train)
+		res, _, err := eval.Run(algo, src, train, test, eval.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", algo, err)
+		}
+		fmt.Printf("%-11s %7d %8.2f %9.2f %8d %7d %7.3f %8.3f\n",
+			algo, res.Scans, res.SimSeconds, float64(res.PeakMemBytes)/(1<<20),
+			res.TreeLeaves, res.TreeDepth, res.TrainAccuracy, res.TestAccuracy)
+	}
+
+	fmt.Println("\nThe shape to look for (paper, Figures 16 and 19):")
+	fmt.Println("  - SPRINT moves an order of magnitude more bytes (attribute lists)")
+	fmt.Println("  - CLOUDS-SSE needs roughly twice CMP-S's scans (its exact second pass)")
+	fmt.Println("  - RainForest is competitive in time but reserves a ~20 MB AVC buffer")
+	fmt.Println("  - the CMP family matches exact-algorithm accuracy at a fraction of the I/O")
+}

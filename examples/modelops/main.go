@@ -1,0 +1,117 @@
+// The modelops example walks the model lifecycle a production user needs:
+// cross-validate a configuration, train the final tree, inspect it (feature
+// importance, per-class metrics, a prediction explanation), export it to
+// Graphviz, save it to disk, and reload it for serving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"cmpdt"
+)
+
+func main() {
+	schema := cmpdt.Schema{
+		Attrs: []cmpdt.Attr{
+			{Name: "tenure_months"},
+			{Name: "monthly_spend"},
+			{Name: "support_tickets"},
+			{Name: "plan", Values: []string{"basic", "plus", "enterprise"}},
+		},
+		Classes: []string{"stays", "churns"},
+	}
+	ds, err := cmpdt.NewDataset(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40_000; i++ {
+		tenure := rng.Float64() * 72
+		spend := 10 + rng.ExpFloat64()*60
+		tickets := float64(rng.Intn(8))
+		plan := rng.Intn(3)
+		// Churn concentrates in new, ticket-heavy, basic-plan customers.
+		churn := 0.03
+		if tenure < 12 && tickets >= 3 {
+			churn = 0.7
+			if plan == 0 {
+				churn = 0.85
+			}
+		} else if tenure < 6 {
+			churn = 0.3
+		}
+		label := 0
+		if rng.Float64() < churn {
+			label = 1
+		}
+		if err := ds.Append([]float64{tenure, spend, tickets, float64(plan)}, label); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := cmpdt.Config{Algorithm: cmpdt.CMPB}
+
+	// 1. Cross-validate the configuration before committing to it.
+	accs, mean, err := cmpdt.CrossValidate(ds, cfg, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-fold cross-validation: mean accuracy %.4f (folds %.4v)\n\n", mean, accs)
+
+	// 2. Train the final model on everything.
+	train, test := ds.Split(0.85, 3)
+	tree, err := cmpdt.Train(train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect: per-class report and feature importance.
+	rep := tree.Evaluate(test)
+	fmt.Printf("held-out accuracy %.4f, macro-F1 %.4f\n", rep.Accuracy, rep.MacroF1)
+	for _, c := range rep.PerClass {
+		fmt.Printf("  %-8s support=%4d precision=%.3f recall=%.3f f1=%.3f\n",
+			c.Class, c.Support, c.Precision, c.Recall, c.F1)
+	}
+	fmt.Println("\nfeature importance:")
+	for i, imp := range tree.Importance() {
+		fmt.Printf("  %-16s %.3f\n", schema.Attrs[i].Name, imp)
+	}
+
+	// 4. Explain one prediction.
+	customer := []float64{4, 35, 5, 0} // 4 months in, 5 tickets, basic plan
+	fmt.Printf("\nwhy is this customer %q?\n", tree.PredictClass(customer))
+	for _, step := range tree.Explain(customer) {
+		fmt.Printf("  %s\n", step)
+	}
+
+	// 5. Export for visualization and persist for serving.
+	dir := os.TempDir()
+	dotPath := filepath.Join(dir, "churn.dot")
+	modelPath := filepath.Join(dir, "churn-model.json")
+	f, err := os.Create(dotPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tree.WriteDOT(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	if err := tree.SaveModel(modelPath); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(dotPath)
+	defer os.Remove(modelPath)
+
+	// 6. Reload and serve.
+	served, err := cmpdt.LoadModel(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreloaded model agrees: %v\n",
+		served.Predict(customer) == tree.Predict(customer))
+	fmt.Printf("artifacts: %s, %s\n", dotPath, modelPath)
+}

@@ -1,0 +1,3 @@
+module cmpdt
+
+go 1.22

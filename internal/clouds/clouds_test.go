@@ -1,0 +1,120 @@
+package clouds
+
+import (
+	"testing"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+	"cmpdt/internal/tree"
+)
+
+func accuracy(t *tree.Tree, tbl *dataset.Table) float64 {
+	correct := 0
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if t.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(tbl.NumRecords())
+}
+
+func TestCLOUDSVariantsAccuracy(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 20_000, 4)
+	for _, variant := range []Variant{SSE, SS} {
+		cfg := DefaultConfig(variant)
+		cfg.Intervals = 50
+		res, err := Build(storage.NewMem(tbl), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		acc := accuracy(res.Tree, tbl)
+		min := 0.99
+		if variant == SS {
+			min = 0.97 // boundary-only splits lose a little accuracy
+		}
+		if acc < min {
+			t.Errorf("%v accuracy %.4f < %.2f", variant, acc, min)
+		}
+		t.Logf("%v acc=%.4f scans=%d exactPasses=%d leaves=%d",
+			variant, acc, res.Stats.Scans, res.Stats.ExactPasses, res.Tree.Leaves())
+	}
+}
+
+// TestSSEMoreScansThanSS: the estimation variant pays an extra pass per
+// level — the cost CMP-S eliminates.
+func TestSSEMoreScansThanSS(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 20_000, 4)
+	scans := map[Variant]int{}
+	for _, variant := range []Variant{SSE, SS} {
+		cfg := DefaultConfig(variant)
+		cfg.Intervals = 50
+		res, err := Build(storage.NewMem(tbl), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scans[variant] = res.Stats.Scans
+	}
+	if scans[SSE] <= scans[SS] {
+		t.Errorf("SSE scans (%d) should exceed SS scans (%d)", scans[SSE], scans[SS])
+	}
+}
+
+func TestSSEExactPassesCounted(t *testing.T) {
+	tbl := synth.Generate(synth.F7, 20_000, 4)
+	res, err := Build(storage.NewMem(tbl), DefaultConfig(SSE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ExactPasses == 0 {
+		t.Error("SSE run recorded no exact passes")
+	}
+	if res.Stats.BufferedRecords == 0 {
+		t.Error("SSE run buffered no records")
+	}
+	res2, err := Build(storage.NewMem(tbl), DefaultConfig(SS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.ExactPasses != 0 {
+		t.Error("SS run should make no exact passes")
+	}
+}
+
+func TestCLOUDSEmptyInput(t *testing.T) {
+	tbl := dataset.MustNew(synth.Schema())
+	if _, err := Build(storage.NewMem(tbl), DefaultConfig(SSE)); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestCLOUDSZeroConfigGetsDefaults(t *testing.T) {
+	tbl := synth.Generate(synth.F1, 3000, 1)
+	res, err := Build(storage.NewMem(tbl), Config{Variant: SS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(res.Tree, tbl); acc < 0.97 {
+		t.Errorf("zero-config accuracy %.4f", acc)
+	}
+}
+
+func TestCLOUDSCategorical(t *testing.T) {
+	tbl := synth.Generate(synth.F3, 10_000, 6) // F3 splits on elevel (categorical)
+	res, err := Build(storage.NewMem(tbl), DefaultConfig(SSE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(res.Tree, tbl); acc < 0.99 {
+		t.Errorf("F3 accuracy %.4f", acc)
+	}
+	hasCat := false
+	res.Tree.Walk(func(n *tree.Node, _ int) {
+		if !n.IsLeaf() && n.Split.Kind == tree.SplitCategorical {
+			hasCat = true
+		}
+	})
+	if !hasCat {
+		t.Error("F3 tree should contain a categorical split")
+	}
+}

@@ -1,0 +1,468 @@
+package clouds
+
+import (
+	"math"
+	"sort"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/exact"
+	"cmpdt/internal/gini"
+	"cmpdt/internal/histogram"
+	"cmpdt/internal/quantile"
+	"cmpdt/internal/tree"
+)
+
+// decideLevel chooses a split for every frontier node. SSE nodes whose best
+// estimate falls inside an interval are resolved by one shared exact pass
+// over the dataset.
+func (b *cbuilder) decideLevel() error {
+	frontier := b.frontier
+	b.frontier = nil
+	var exactNodes []*cnode
+	for _, n := range frontier {
+		if n.state != csBuilding {
+			continue
+		}
+		if ex := b.decideNode(n); ex {
+			exactNodes = append(exactNodes, n)
+		}
+	}
+	if len(exactNodes) > 0 {
+		if err := b.exactPass(exactNodes); err != nil {
+			return err
+		}
+		for _, n := range exactNodes {
+			b.resolveExact(n)
+		}
+	}
+	return nil
+}
+
+// decideNode evaluates one node. It returns true when the node needs the
+// level's exact pass (SSE alive intervals).
+func (b *cbuilder) decideNode(n *cnode) bool {
+	totals := n.hists[firstNonNil(n.hists)].ClassTotals()
+	n.tn.SetCounts(totals)
+	if n.tn.Gini == 0 || n.tn.N < b.cfg.MinSplitRecords || n.depth >= b.cfg.MaxDepth ||
+		(b.cfg.PurityStop > 0 &&
+			float64(n.tn.ClassCounts[n.tn.Class]) >= b.cfg.PurityStop*float64(n.tn.N)) {
+		b.makeLeaf(n)
+		return false
+	}
+	if b.cfg.InMemoryNodeRecords > 0 && n.tn.N <= b.cfg.InMemoryNodeRecords && n.depth > 0 {
+		n.state = csCollect
+		n.collectLevel = b.level
+		n.hists = nil
+		b.collects = append(b.collects, n)
+		return false
+	}
+
+	type evalT struct {
+		attr         int
+		giniMin      float64
+		bestBoundary int
+		ests         []float64
+		cums         [][]int
+		score        float64
+	}
+	var best *evalT
+	for _, a := range b.numeric {
+		if n.banned[a] || n.disc[a] == nil || n.disc[a].Bins() < 2 {
+			continue
+		}
+		h := n.hists[a]
+		e := evalT{attr: a, giniMin: math.Inf(1), bestBoundary: -1, cums: h.Cumulative()}
+		boundaryG := make([]float64, len(e.cums))
+		for j, cum := range e.cums {
+			g := gini.SplitBelow(cum, totals)
+			boundaryG[j] = g
+			if g < e.giniMin {
+				e.giniMin, e.bestBoundary = g, j
+			}
+		}
+		zeros := make([]int, b.nc)
+		e.ests = make([]float64, h.Bins())
+		minEst := math.Inf(1)
+		for k := 0; k < h.Bins(); k++ {
+			x := zeros
+			if k > 0 {
+				x = e.cums[k-1]
+			}
+			y := totals
+			if k < h.Bins()-1 {
+				y = e.cums[k]
+			}
+			if sliceEq(x, y) {
+				e.ests[k] = math.Inf(1)
+				continue
+			}
+			edge := math.Inf(1)
+			if k > 0 {
+				edge = boundaryG[k-1]
+			}
+			if k < h.Bins()-1 && boundaryG[k] < edge {
+				edge = boundaryG[k]
+			}
+			if n.disc[a].Singleton(k) {
+				// A single-distinct-value interval has no interior split.
+				e.ests[k] = edge
+			} else {
+				est := gini.EstimateInterval(x, y, totals).Est
+				nk := 0
+				for i := range totals {
+					nk += y[i] - x[i]
+				}
+				if n.tn.N > 0 && !math.IsInf(edge, 1) {
+					if floor := edge - 2*float64(nk)/float64(n.tn.N); est < floor {
+						est = floor
+					}
+				}
+				e.ests[k] = est
+			}
+			if e.ests[k] < minEst {
+				minEst = e.ests[k]
+			}
+		}
+		e.score = math.Min(e.giniMin, minEst)
+		if math.IsInf(e.score, 1) {
+			continue
+		}
+		if best == nil || e.score < best.score {
+			cp := e
+			best = &cp
+		}
+	}
+
+	catAttr, catMask, catG := -1, uint64(0), math.Inf(1)
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind != dataset.Categorical {
+			continue
+		}
+		h := n.hists[a]
+		counts := make([][]int, h.Bins())
+		for v := range counts {
+			counts[v] = h.Bin(v)
+		}
+		if mask, g, ok := gini.BestSubsetSplit(counts); ok && g < catG {
+			catG, catAttr, catMask = g, a, mask
+		}
+	}
+
+	bestScore := math.Inf(1)
+	if best != nil {
+		bestScore = best.score
+	}
+	useCat := catAttr >= 0 && catG < bestScore
+	if useCat {
+		bestScore = catG
+	}
+	if math.IsInf(bestScore, 1) || n.tn.Gini-bestScore < b.cfg.MinGiniGain {
+		b.makeLeaf(n)
+		return false
+	}
+	if useCat {
+		lc := make([]int, b.nc)
+		h := n.hists[catAttr]
+		for v := 0; v < h.Bins(); v++ {
+			if catMask&(1<<uint(v)) != 0 {
+				for c, k := range h.Bin(v) {
+					lc[c] += k
+				}
+			}
+		}
+		b.resolveSplit(n, tree.Split{Kind: tree.SplitCategorical, Attr: catAttr, Subset: catMask}, lc)
+		return false
+	}
+
+	// Alive intervals (SSE) or direct boundary split (SS).
+	var alive []int
+	if b.cfg.Variant == SSE {
+		for k, est := range best.ests {
+			if est < best.giniMin {
+				alive = append(alive, k)
+			}
+		}
+		sort.Slice(alive, func(i, j int) bool { return best.ests[alive[i]] < best.ests[alive[j]] })
+		if len(alive) > b.cfg.MaxAlive {
+			alive = alive[:b.cfg.MaxAlive]
+		}
+		if len(alive) > 0 && best.bestBoundary >= 0 {
+			adjA, adjB := best.bestBoundary, best.bestBoundary+1
+			adj := adjA
+			if adjB < len(best.ests) && best.ests[adjB] < best.ests[adjA] {
+				adj = adjB
+			}
+			present := false
+			for _, c := range alive {
+				if c == adjA || c == adjB {
+					present = true
+					break
+				}
+			}
+			if !present {
+				if len(alive) < b.cfg.MaxAlive {
+					alive = append(alive, adj)
+				} else {
+					alive[len(alive)-1] = adj
+				}
+			}
+		}
+		sort.Ints(alive)
+	}
+	if len(alive) == 0 {
+		// Boundary split: exact under SS semantics, provably optimal under
+		// SSE when no estimate undercuts it.
+		th := n.disc[best.attr].Boundary(best.bestBoundary)
+		lc := append([]int(nil), best.cums[best.bestBoundary]...)
+		b.resolveSplit(n, tree.Split{Kind: tree.SplitNumeric, Attr: best.attr, Threshold: th}, lc)
+		return false
+	}
+
+	// Schedule for the exact pass: record gaps and the histogram cumulative
+	// below each gap (CLOUDS histograms contain all node records, so gap
+	// sweeps are independent).
+	d := n.disc[best.attr]
+	n.exAttr = best.attr
+	n.exGaps = n.exGaps[:0]
+	n.exCums = n.exCums[:0]
+	zeros := make([]int, b.nc)
+	for i := 0; i < len(alive); {
+		j := i
+		for j+1 < len(alive) && alive[j+1] == alive[j]+1 {
+			j++
+		}
+		lo, hi := math.Inf(-1), math.Inf(1)
+		if alive[i] > 0 {
+			lo = d.Boundary(alive[i] - 1)
+		}
+		if alive[j] < d.Bins()-1 {
+			hi = d.Boundary(alive[j])
+		}
+		cum := zeros
+		if alive[i] > 0 {
+			cum = best.cums[alive[i]-1]
+		}
+		n.exGaps = append(n.exGaps, valueRange{Lo: lo, Hi: hi})
+		n.exCums = append(n.exCums, append([]int(nil), cum...))
+		i = j + 1
+	}
+	return true
+}
+
+func (b *cbuilder) makeLeaf(n *cnode) {
+	n.state = csLeaf
+	n.hists = nil
+	n.buf.reset()
+}
+
+// resolveSplit installs a final split and creates the two children for the
+// next level.
+func (b *cbuilder) resolveSplit(n *cnode, sp tree.Split, leftCounts []int) {
+	rightCounts := make([]int, b.nc)
+	for i := range rightCounts {
+		rightCounts[i] = n.tn.ClassCounts[i] - leftCounts[i]
+	}
+	var ldisc, rdisc []*quantile.Discretizer
+	if sp.Kind == tree.SplitNumeric {
+		ldisc = b.deriveChildDisc(n, sp.Attr, math.Inf(-1), sp.Threshold, sumInts(leftCounts))
+		rdisc = b.deriveChildDisc(n, sp.Attr, sp.Threshold, math.Inf(1), sumInts(rightCounts))
+	} else {
+		ldisc = append([]*quantile.Discretizer(nil), n.disc...)
+		rdisc = ldisc
+	}
+	left := b.newNode(n.depth+1, ldisc)
+	right := b.newNode(n.depth+1, rdisc)
+	left.tn.SetCounts(leftCounts)
+	right.tn.SetCounts(rightCounts)
+	spc := sp
+	n.tn.Split = &spc
+	n.tn.Left, n.tn.Right = left.tn, right.tn
+	n.children = []*cnode{left, right}
+	n.state = csResolved
+	n.hists = nil
+	b.frontier = append(b.frontier, left, right)
+}
+
+func (b *cbuilder) deriveChildDisc(n *cnode, attr int, lo, hi float64, childN int) []*quantile.Discretizer {
+	out := append([]*quantile.Discretizer(nil), n.disc...)
+	h := n.hists[attr]
+	if h == nil || n.disc[attr] == nil {
+		return out
+	}
+	counts := make([]int, h.Bins())
+	for k := range counts {
+		for _, c := range h.Bin(k) {
+			counts[k] += c
+		}
+	}
+	bins := childN / 200
+	if bins > b.cfg.Intervals {
+		bins = b.cfg.Intervals
+	}
+	if bins < 8 {
+		bins = 8
+	}
+	d, err := quantile.Derive(n.disc[attr], counts, lo, hi, bins, b.attrMin[attr], b.attrMax[attr])
+	if err == nil {
+		out[attr] = d
+	}
+	return out
+}
+
+// exactPass is CLOUDS' second scan: gather the records falling inside the
+// alive intervals of every scheduled node.
+func (b *cbuilder) exactPass(nodes []*cnode) error {
+	scheduled := make(map[int32]*cnode, len(nodes))
+	for _, n := range nodes {
+		scheduled[n.id] = n
+	}
+	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		n, ok := scheduled[b.nid[rid]]
+		if !ok {
+			return nil
+		}
+		v := vals[n.exAttr]
+		for _, g := range n.exGaps {
+			if v > g.Lo && v <= g.Hi {
+				n.buf.add(vals, label)
+				b.st.BufferedRecords++
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	b.st.Scans++
+	b.st.ExactPasses++
+	b.st.NidBytesIO += 4 * int64(len(b.nid)) // read-only pass over nid
+	b.snapshotMemory()
+	return nil
+}
+
+// resolveExact evaluates the gini index at every distinct buffered value
+// inside the alive gaps and installs the best split.
+func (b *cbuilder) resolveExact(n *cnode) {
+	attr := n.exAttr
+	totals := n.tn.ClassCounts
+	nTot := n.tn.N
+	idx := make([]int, n.buf.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return n.buf.Row(idx[i])[attr] < n.buf.Row(idx[j])[attr]
+	})
+
+	bestG := 2.0
+	bestTh := 0.0
+	found := false
+	cum := make([]int, b.nc)
+	try := func(th float64) {
+		cn := sumInts(cum)
+		if cn == 0 || cn == nTot {
+			return
+		}
+		if g := gini.SplitBelow(cum, totals); g < bestG {
+			bestG, bestTh, found = g, th, true
+		}
+	}
+	bi := 0
+	for g, gap := range n.exGaps {
+		copy(cum, n.exCums[g])
+		if !math.IsInf(gap.Lo, -1) {
+			try(gap.Lo)
+		}
+		for bi < len(idx) {
+			row := n.buf.Row(idx[bi])
+			v := row[attr]
+			if v > gap.Hi {
+				break
+			}
+			if v > gap.Lo {
+				cum[n.buf.Label(idx[bi])]++
+				last := bi+1 >= len(idx) || n.buf.Row(idx[bi+1])[attr] != v
+				if last {
+					try(v)
+				}
+			}
+			bi++
+		}
+		if !math.IsInf(gap.Hi, 1) {
+			try(gap.Hi)
+		}
+	}
+	if !found || n.tn.Gini-bestG < b.cfg.MinGiniGain {
+		// No improving point inside the alive intervals: ban the attribute
+		// and retry from fresh histograms next level.
+		n.buf.reset()
+		n.exGaps, n.exCums = nil, nil
+		if n.banned == nil {
+			n.banned = make(map[int]bool)
+		}
+		n.banned[attr] = true
+		b.allocHists(n)
+		b.frontier = append(b.frontier, n)
+		return
+	}
+	lc := b.leftCountsAt(n, attr, bestTh, idx)
+	n.buf.reset()
+	n.exGaps, n.exCums = nil, nil
+	b.resolveSplit(n, tree.Split{Kind: tree.SplitNumeric, Attr: attr, Threshold: bestTh}, lc)
+}
+
+// leftCountsAt recomputes the class counts at a threshold from the gap
+// cumulative bases and the buffered records at or below it.
+func (b *cbuilder) leftCountsAt(n *cnode, attr int, th float64, idx []int) []int {
+	lc := make([]int, b.nc)
+	for g, gap := range n.exGaps {
+		if th >= gap.Lo && th <= gap.Hi {
+			copy(lc, n.exCums[g])
+			for _, i := range idx {
+				v := n.buf.Row(i)[attr]
+				if v > gap.Lo && v <= th {
+					lc[n.buf.Label(i)]++
+				}
+			}
+			return lc
+		}
+	}
+	return lc
+}
+
+func firstNonNil(hs []*histogram.Hist1D) int {
+	for i, h := range hs {
+		if h != nil {
+			return i
+		}
+	}
+	return 0
+}
+
+func sliceEq(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sumInts(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// buildExactSubtree finishes a small node in memory.
+func buildExactSubtree(buf *recBuffer, schema *dataset.Schema, cfg Config, depth int) *tree.Node {
+	return exact.BuildSubtree(buf, schema, exact.Config{
+		MinSplitRecords: cfg.MinSplitRecords,
+		MaxDepth:        cfg.MaxDepth - depth,
+		MinGiniGain:     cfg.MinGiniGain,
+		PurityStop:      cfg.PurityStop,
+	})
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+func TestAnalyzeAttributeCurve(t *testing.T) {
+	tbl := synth.Generate(synth.F1, 20_000, 3) // class depends on age alone
+	src := storage.NewMem(tbl)
+	cfg := Default(CMPS)
+	cfg.Intervals = 30
+	curve, err := AnalyzeAttribute(src, cfg, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Boundaries) == 0 || len(curve.BoundaryGini) != len(curve.Boundaries) {
+		t.Fatalf("curve shape: %d boundaries, %d ginis", len(curve.Boundaries), len(curve.BoundaryGini))
+	}
+	if len(curve.IntervalEst) != len(curve.Boundaries)+1 {
+		t.Fatalf("%d interval estimates for %d boundaries", len(curve.IntervalEst), len(curve.Boundaries))
+	}
+	// F1's class boundaries are age 40 and 60; the gini minimum must sit
+	// near one of them.
+	bestIdx := 0
+	for j, g := range curve.BoundaryGini {
+		if g < curve.BoundaryGini[bestIdx] {
+			bestIdx = j
+		}
+	}
+	bestVal := curve.Boundaries[bestIdx]
+	if math.Abs(bestVal-40) > 3 && math.Abs(bestVal-60) > 3 {
+		t.Errorf("gini minimum at %v, want near 40 or 60", bestVal)
+	}
+	// Estimates never exceed their neighbouring boundary values by more
+	// than numerical noise.
+	for k, est := range curve.IntervalEst {
+		if math.IsInf(est, 1) {
+			continue
+		}
+		if k > 0 && est > curve.BoundaryGini[k-1]+1e-9 {
+			t.Errorf("interval %d estimate %v above left boundary %v", k, est, curve.BoundaryGini[k-1])
+		}
+	}
+	if len(curve.Alive) > cfg.MaxAlive {
+		t.Errorf("%d alive intervals exceed MaxAlive %d", len(curve.Alive), cfg.MaxAlive)
+	}
+}
+
+func TestAnalyzeAttributeErrors(t *testing.T) {
+	tbl := synth.Generate(synth.F1, 500, 3)
+	src := storage.NewMem(tbl)
+	if _, err := AnalyzeAttribute(src, Default(CMPS), "nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := AnalyzeAttribute(src, Default(CMPS), "elevel"); err == nil {
+		t.Error("categorical attribute accepted")
+	}
+}

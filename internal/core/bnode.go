@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"cmpdt/internal/histogram"
+	"cmpdt/internal/quantile"
+	"cmpdt/internal/tree"
+)
+
+// state of a builder node.
+type state int
+
+const (
+	// stBuilding: histograms are being (or about to be) filled by a scan.
+	stBuilding state = iota
+	// stPending: a provisional split is in place; alive-interval records
+	// are buffered during the next scan while region children collect the
+	// rest (Figure 3 of the paper).
+	stPending
+	// stResolved: the final split is known; children route records.
+	stResolved
+	// stCollect: the node is small enough to finish in memory; the next
+	// scan gathers all its records into the buffer.
+	stCollect
+	// stLeaf: a finished leaf.
+	stLeaf
+	// stDone: an in-memory-finished subtree hangs off the tree node;
+	// nothing further routes through the builder.
+	stDone
+)
+
+// bnode is a node of the tree under construction, carrying the histogram
+// and buffering state the final tree.Node does not need.
+type bnode struct {
+	id    int32
+	tn    *tree.Node
+	depth int
+	state state
+	dead  bool // merged away or pruned out
+	// succ is the surviving node a dead node's records belong to; stale
+	// nid entries resolve through the succ chain.
+	succ *bnode
+
+	// disc holds the node's per-attribute discretizers (nil entries for
+	// categorical attributes). Children re-derive the split attribute's
+	// discretizer from the parent's histogram so interval resolution does
+	// not degrade with depth.
+	disc []*quantile.Discretizer
+
+	// Histogram state (stBuilding). CMP-S fills hists for every attribute;
+	// CMP-B/CMP fill mats for numeric attributes (all sharing the X-axis
+	// attribute xAttr) and hists for categorical attributes only.
+	hists []*histogram.Hist1D
+	mats  []*histogram.Matrix // indexed by Y attribute; nil at xAttr and categoricals
+	xAttr int                 // CMP-B/CMP predicted X-axis; -1 for CMP-S
+	// pairMats (ObliqueAllPairs extension) holds matrices for numeric
+	// attribute pairs not covered by mats, parallel to builder.pairs.
+	pairMats []*histogram.Matrix
+
+	// Pending-split state (stPending).
+	pending *pendingSplit
+	buffer  buffer
+
+	// children: for stPending, the A+1 region children in value order; for
+	// stResolved, exactly {left, right}.
+	children []*bnode
+
+	// collectRound records when the node entered stCollect; its buffer is
+	// complete after the following round's scan and distributions.
+	collectRound int
+
+	// banned lists numeric attributes whose pending split failed to resolve
+	// (no distinct values inside the alive gaps); they are not retried.
+	banned map[int]bool
+
+	// notBefore delays the node's split decision until the given round,
+	// used when a failed resolution sends the node back to rebuild its
+	// histograms from the next scan.
+	notBefore int
+}
+
+// pendingSplit is a provisional split awaiting exact resolution.
+type pendingSplit struct {
+	attr int
+	// gaps are the alive-interval value ranges (Lo, Hi], ascending,
+	// non-overlapping, with adjacent alive intervals merged.
+	gaps []valueRange
+	// The best interval boundary seen at decision time is kept as a
+	// fallback candidate: if no point inside the alive gaps beats it, the
+	// node resolves at this boundary instead (with fresh children, since
+	// the region histograms cannot be divided there).
+	fallbackThresh float64
+	fallbackGini   float64
+	fallbackCum    []int
+	// fallbackX carries the children's predicted X-axis attributes for the
+	// fallback path, chosen while the histograms were still available.
+	fallbackX [2]int
+}
+
+// valueRange is an open-closed interval (Lo, Hi].
+type valueRange struct{ Lo, Hi float64 }
+
+func (r valueRange) contains(v float64) bool { return v > r.Lo && v <= r.Hi }
+
+// route places a value relative to the pending split: buffered reports
+// whether it falls inside an alive gap; otherwise region is the index of
+// the region child (regions and gaps interleave: region 0, gap 0, region 1,
+// gap 1, ..., region A).
+func (p *pendingSplit) route(v float64) (region int, buffered bool) {
+	for g, gap := range p.gaps {
+		if v <= gap.Lo {
+			return g, false
+		}
+		if v <= gap.Hi {
+			return 0, true
+		}
+	}
+	return len(p.gaps), false
+}
+
+// buffer holds records set aside for exact resolution, flat and sortable by
+// any attribute. It satisfies exact.Rows.
+type buffer struct {
+	k      int // attributes per record
+	vals   []float64
+	rids   []int32
+	labels []int32
+}
+
+func (b *buffer) init(k int) { b.k = k }
+
+func (b *buffer) add(rid int, vals []float64, label int) {
+	b.vals = append(b.vals, vals...)
+	b.rids = append(b.rids, int32(rid))
+	b.labels = append(b.labels, int32(label))
+}
+
+// Len returns the number of buffered records.
+func (b *buffer) Len() int { return len(b.rids) }
+
+// Row returns record i's attribute values (aliasing the buffer).
+func (b *buffer) Row(i int) []float64 { return b.vals[i*b.k : (i+1)*b.k] }
+
+// Label returns record i's class label.
+func (b *buffer) Label(i int) int { return int(b.labels[i]) }
+
+func (b *buffer) rid(i int) int { return int(b.rids[i]) }
+
+// bytes estimates the buffer's memory footprint (values + rid + label).
+func (b *buffer) bytes() int64 {
+	return int64(b.Len()) * (int64(b.k)*8 + 8)
+}
+
+func (b *buffer) reset() {
+	b.vals = b.vals[:0]
+	b.rids = b.rids[:0]
+	b.labels = b.labels[:0]
+}
+
+// sortByAttr orders the buffer ascending by attribute a.
+func (b *buffer) sortByAttr(a int) {
+	sort.Sort(&bufferSorter{b: b, attr: a})
+}
+
+type bufferSorter struct {
+	b    *buffer
+	attr int
+	tmp  []float64
+}
+
+func (s *bufferSorter) Len() int { return s.b.Len() }
+
+func (s *bufferSorter) Less(i, j int) bool {
+	return s.b.vals[i*s.b.k+s.attr] < s.b.vals[j*s.b.k+s.attr]
+}
+
+func (s *bufferSorter) Swap(i, j int) {
+	b := s.b
+	if s.tmp == nil {
+		s.tmp = make([]float64, b.k)
+	}
+	ri, rj := b.Row(i), b.Row(j)
+	copy(s.tmp, ri)
+	copy(ri, rj)
+	copy(rj, s.tmp)
+	b.rids[i], b.rids[j] = b.rids[j], b.rids[i]
+	b.labels[i], b.labels[j] = b.labels[j], b.labels[i]
+}
+
+// histMemoryBytes sums the histogram/matrix footprint of a node.
+func (n *bnode) histMemoryBytes() int64 {
+	var total int64
+	for _, h := range n.hists {
+		if h != nil {
+			total += h.MemoryBytes()
+		}
+	}
+	for _, m := range n.mats {
+		if m != nil {
+			total += m.MemoryBytes()
+		}
+	}
+	for _, m := range n.pairMats {
+		if m != nil {
+			total += m.MemoryBytes()
+		}
+	}
+	return total
+}
+
+// dropHists releases histogram storage once a node no longer needs it.
+func (n *bnode) dropHists() {
+	n.hists = nil
+	n.mats = nil
+	n.pairMats = nil
+}
+
+// classTotals returns the per-class record counts currently accounted to
+// the node: its own histograms if building, its buffer if collecting, or
+// (recursively) its region children plus its buffer if pending.
+func (n *bnode) classTotals(numClasses int) []int {
+	switch n.state {
+	case stBuilding:
+		return n.ownHistTotals(numClasses)
+	case stCollect:
+		t := make([]int, numClasses)
+		for i := 0; i < n.buffer.Len(); i++ {
+			t[n.buffer.Label(i)]++
+		}
+		return t
+	case stPending, stResolved:
+		t := make([]int, numClasses)
+		for _, c := range n.children {
+			for i, v := range c.classTotals(numClasses) {
+				t[i] += v
+			}
+		}
+		for i := 0; i < n.buffer.Len(); i++ {
+			t[n.buffer.Label(i)]++
+		}
+		return t
+	default: // stLeaf, stDone
+		if n.tn != nil && n.tn.ClassCounts != nil {
+			return append([]int(nil), n.tn.ClassCounts...)
+		}
+		return make([]int, numClasses)
+	}
+}
+
+// ownHistTotals reads class totals from whichever histogram form the node
+// carries, falling back to the tree node's recorded counts.
+func (n *bnode) ownHistTotals(numClasses int) []int {
+	for _, m := range n.mats {
+		if m != nil {
+			return m.ClassTotals()
+		}
+	}
+	for _, h := range n.hists {
+		if h != nil {
+			return h.ClassTotals()
+		}
+	}
+	if n.tn != nil && n.tn.ClassCounts != nil {
+		return append([]int(nil), n.tn.ClassCounts...)
+	}
+	return make([]int, numClasses)
+}
+
+// unbounded endpoints for gap ranges at the domain edges.
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)

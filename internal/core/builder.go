@@ -1,0 +1,900 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/exact"
+	"cmpdt/internal/gini"
+	"cmpdt/internal/histogram"
+	"cmpdt/internal/prune"
+	"cmpdt/internal/quantile"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/tree"
+)
+
+// errSampleDone terminates the discretization pass once the sample is full.
+var errSampleDone = errors.New("core: sample complete")
+
+// Build constructs a decision tree over src with the given configuration,
+// scanning the source once per construction round as described in Figures 4
+// and 10 of the paper (plus one initial scan to sample the equal-depth
+// interval boundaries).
+func Build(src storage.Source, cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := src.Schema().Validate(); err != nil {
+		return nil, err
+	}
+	if src.NumRecords() == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	b := &builder{
+		cfg:    cfg,
+		src:    src,
+		schema: src.Schema(),
+		na:     src.Schema().NumAttrs(),
+		nc:     src.Schema().NumClasses(),
+		byTN:   make(map[*tree.Node]*bnode),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind == dataset.Numeric {
+			b.numeric = append(b.numeric, a)
+		}
+	}
+	b.stats.RootSplitAttr = -1
+	b.useMats = cfg.Algorithm != CMPS && len(b.numeric) >= 2
+	if b.useMats && cfg.Algorithm == CMPFull && cfg.ObliqueAllPairs {
+		for i := 0; i < len(b.numeric); i++ {
+			for j := i + 1; j < len(b.numeric); j++ {
+				b.pairs = append(b.pairs, [2]int{b.numeric[i], b.numeric[j]})
+			}
+		}
+	}
+	if err := b.init(); err != nil {
+		return nil, err
+	}
+	b.makeRoot()
+
+	for b.round = 1; b.hasWork(); b.round++ {
+		if b.round > b.cfg.MaxRounds {
+			break
+		}
+		if err := b.scan(); err != nil {
+			return nil, err
+		}
+		b.resolveAll()
+		b.snapshotMemory()
+		b.finishCollects()
+		b.decideScanned()
+		if b.cfg.Prune {
+			b.applyPrune(true)
+		}
+		b.snapshotMemory()
+		if debugValidate {
+			b.validate("end of round")
+		}
+	}
+	b.finalizeRemaining()
+	if b.cfg.Prune {
+		b.applyPrune(false)
+	}
+	t := &tree.Tree{Root: b.root.tn, Schema: b.schema}
+	b.stats.ObliqueSplits = t.CountLinearSplits()
+	return &Result{Tree: t, Stats: b.stats, IO: b.src.Stats()}, nil
+}
+
+type builder struct {
+	cfg    Config
+	src    storage.Source
+	schema *dataset.Schema
+	na, nc int
+
+	numeric []int    // numeric attribute indices
+	useMats bool     // CMP-B / CMP with >= 2 numeric attributes
+	pairs   [][2]int // ObliqueAllPairs extension: all numeric pairs
+
+	attrMin, attrMax []float64 // observed numeric domains (init scan)
+	rootDisc         []*quantile.Discretizer
+
+	nid      []int32  // record id -> builder node id ("swapped to disk")
+	nodes    []*bnode // node id -> node (re-aimed when nodes merge)
+	all      []*bnode // every node ever created, for accounting
+	scanned  []*bnode // building nodes the next scan will fill
+	pendings []*bnode // pending nodes with no pending ancestor
+	collects []*bnode
+	byTN     map[*tree.Node]*bnode
+
+	root  *bnode
+	round int
+	stats Stats
+	rng   *rand.Rand
+}
+
+// init performs the discretization pass: a reservoir sample of each numeric
+// attribute drives the equal-depth interval boundaries, and the observed
+// min/max bound each domain.
+func (b *builder) init() error {
+	n := b.src.NumRecords()
+	b.nid = make([]int32, n)
+	b.attrMin = make([]float64, b.na)
+	b.attrMax = make([]float64, b.na)
+	for a := range b.attrMin {
+		b.attrMin[a] = posInf
+		b.attrMax[a] = negInf
+	}
+	if b.cfg.DiscretizeSample < 0 {
+		return b.initFullPass(n)
+	}
+	sampleCap := b.cfg.DiscretizeSample
+	if sampleCap == 0 || sampleCap > n {
+		sampleCap = n
+	}
+	samples := make([][]float64, b.na)
+	for _, a := range b.numeric {
+		samples[a] = make([]float64, 0, sampleCap)
+	}
+	// The discretization pass reads only the sample prefix: the benchmark
+	// generators emit i.i.d. records, so a prefix is a uniform sample, and
+	// the scan cost model charges only the bytes actually read (the papers
+	// likewise compute quantiles from a sample rather than a full pass).
+	seen := 0
+	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		for _, a := range b.numeric {
+			v := vals[a]
+			if v < b.attrMin[a] {
+				b.attrMin[a] = v
+			}
+			if v > b.attrMax[a] {
+				b.attrMax[a] = v
+			}
+			samples[a] = append(samples[a], v)
+		}
+		seen++
+		if seen >= sampleCap {
+			return errSampleDone
+		}
+		return nil
+	})
+	if err != nil && err != errSampleDone {
+		return err
+	}
+	if sampleCap >= n {
+		b.stats.Scans++
+	}
+	b.rootDisc = make([]*quantile.Discretizer, b.na)
+	for _, a := range b.numeric {
+		d, err := quantile.EqualDepth(samples[a], b.cfg.Intervals)
+		if err != nil {
+			return fmt.Errorf("core: discretizing %s: %w", b.schema.Attrs[a].Name, err)
+		}
+		b.rootDisc[a] = d
+	}
+	return nil
+}
+
+// initFullPass computes the root discretizers from a full scan using
+// Greenwald-Khanna sketches — bounded memory regardless of the dataset
+// size, the classic one-pass quantiling for disk-resident data. Selected
+// with a negative DiscretizeSample.
+func (b *builder) initFullPass(n int) error {
+	eps := 1 / (8 * float64(b.cfg.Intervals))
+	if eps > 0.01 {
+		eps = 0.01
+	}
+	sketches := make([]*quantile.GK, b.na)
+	for _, a := range b.numeric {
+		gk, err := quantile.NewGK(eps)
+		if err != nil {
+			return err
+		}
+		sketches[a] = gk
+	}
+	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		for _, a := range b.numeric {
+			v := vals[a]
+			if v < b.attrMin[a] {
+				b.attrMin[a] = v
+			}
+			if v > b.attrMax[a] {
+				b.attrMax[a] = v
+			}
+			sketches[a].Add(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	b.stats.Scans++
+	b.rootDisc = make([]*quantile.Discretizer, b.na)
+	for _, a := range b.numeric {
+		d, err := sketches[a].Discretizer(b.cfg.Intervals)
+		if err != nil {
+			return fmt.Errorf("core: discretizing %s: %w", b.schema.Attrs[a].Name, err)
+		}
+		b.rootDisc[a] = d
+	}
+	return nil
+}
+
+func (b *builder) makeRoot() {
+	x := -1
+	if b.useMats {
+		// The paper selects the root's X-axis attribute randomly.
+		x = b.numeric[b.rng.Intn(len(b.numeric))]
+	}
+	b.root = b.newBnode(0, b.rootDisc, x)
+	b.allocHists(b.root)
+	b.scanned = append(b.scanned, b.root)
+}
+
+// newBnode creates a builder node (state stBuilding) with its tree node.
+func (b *builder) newBnode(depth int, disc []*quantile.Discretizer, xAttr int) *bnode {
+	n := &bnode{
+		id:    int32(len(b.nodes)),
+		tn:    &tree.Node{},
+		depth: depth,
+		state: stBuilding,
+		disc:  disc,
+		xAttr: xAttr,
+	}
+	n.buffer.init(b.na)
+	b.nodes = append(b.nodes, n)
+	b.all = append(b.all, n)
+	b.byTN[n.tn] = n
+	return n
+}
+
+// allocHists gives a building node its empty histograms.
+func (b *builder) allocHists(n *bnode) {
+	if b.useMats {
+		n.mats = make([]*histogram.Matrix, b.na)
+		xb := n.disc[n.xAttr].Bins()
+		for _, y := range b.numeric {
+			if y == n.xAttr {
+				continue
+			}
+			n.mats[y] = histogram.NewMatrix(xb, n.disc[y].Bins(), b.nc)
+		}
+		n.hists = make([]*histogram.Hist1D, b.na)
+		for a := 0; a < b.na; a++ {
+			if b.schema.Attrs[a].Kind == dataset.Categorical {
+				n.hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
+			}
+		}
+		if len(b.numeric) == 1 {
+			// Degenerate: a single numeric attribute cannot form a matrix.
+			a := b.numeric[0]
+			n.hists[a] = histogram.New1D(n.disc[a].Bins(), b.nc)
+			n.mats = nil
+		}
+		if b.pairs != nil && n.mats != nil {
+			// Pair matrices feed the oblique line search; the refinement
+			// step needs full discretizer resolution or the fitted line's
+			// offset error leaves impure children behind.
+			n.pairMats = make([]*histogram.Matrix, len(b.pairs))
+			for pi, pr := range b.pairs {
+				if pr[0] == n.xAttr || pr[1] == n.xAttr {
+					continue // already covered by mats
+				}
+				n.pairMats[pi] = histogram.NewMatrix(n.disc[pr[0]].Bins(), n.disc[pr[1]].Bins(), b.nc)
+			}
+		}
+		return
+	}
+	n.hists = make([]*histogram.Hist1D, b.na)
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind == dataset.Categorical {
+			n.hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
+		} else {
+			n.hists[a] = histogram.New1D(n.disc[a].Bins(), b.nc)
+		}
+	}
+}
+
+func (b *builder) hasWork() bool {
+	return len(b.scanned) > 0 || len(b.pendings) > 0 || len(b.collects) > 0
+}
+
+// scan performs one sequential pass, routing every record to its place:
+// histogram update, alive-interval buffer, collect buffer, or settled leaf.
+func (b *builder) scan() error {
+	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		b.route(b.nodes[b.nid[rid]], rid, vals, label)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	b.stats.Scans++
+	b.stats.Rounds++
+	// The paper swaps the nid array to disk: one read and one write of
+	// 4 bytes per record per scan.
+	b.stats.NidBytesIO += 8 * int64(len(b.nid))
+	return nil
+}
+
+// route walks a record down from start through resolved splits and pending
+// regions until it lands somewhere: a building histogram, an alive-interval
+// buffer, a collect buffer, or a settled leaf. Stale entry points (nodes
+// retired by merges, reverts or pruning) resolve through their successor
+// chain first.
+func (b *builder) route(start *bnode, rid int, vals []float64, label int) {
+	n := start
+	for n.dead && n.succ != nil {
+		n = n.succ
+	}
+	for {
+		switch n.state {
+		case stLeaf, stDone:
+			b.nid[rid] = n.id
+			return
+		case stResolved:
+			if len(n.children) != 2 || n.tn.Split == nil {
+				panic(fmt.Sprintf("core: resolved node id=%d depth=%d dead=%v children=%d split=%v",
+					n.id, n.depth, n.dead, len(n.children), n.tn.Split))
+			}
+			if n.tn.Split.GoesLeft(vals) {
+				n = n.children[0]
+			} else {
+				n = n.children[1]
+			}
+		case stPending:
+			region, buffered := n.pending.route(vals[n.pending.attr])
+			if buffered {
+				n.buffer.add(rid, vals, label)
+				b.stats.BufferedRecords++
+				b.nid[rid] = n.id
+				return
+			}
+			n = n.children[region]
+		case stCollect:
+			n.buffer.add(rid, vals, label)
+			b.nid[rid] = n.id
+			return
+		default: // stBuilding
+			b.updateHists(n, vals, label)
+			b.nid[rid] = n.id
+			return
+		}
+	}
+}
+
+// updateHists counts one record into a building node's histograms.
+func (b *builder) updateHists(n *bnode, vals []float64, label int) {
+	if n.mats != nil {
+		xb := n.disc[n.xAttr].Interval(vals[n.xAttr])
+		for _, y := range b.numeric {
+			if y == n.xAttr {
+				continue
+			}
+			n.mats[y].Add(xb, n.disc[y].Interval(vals[y]), label)
+		}
+		for pi, m := range n.pairMats {
+			if m == nil {
+				continue
+			}
+			pr := b.pairs[pi]
+			m.Add(n.disc[pr[0]].Interval(vals[pr[0]]), n.disc[pr[1]].Interval(vals[pr[1]]), label)
+		}
+		for a := 0; a < b.na; a++ {
+			if h := n.hists[a]; h != nil {
+				h.Add(int(vals[a]), label)
+			}
+		}
+		return
+	}
+	for a := 0; a < b.na; a++ {
+		h := n.hists[a]
+		if h == nil {
+			continue
+		}
+		if b.schema.Attrs[a].Kind == dataset.Categorical {
+			h.Add(int(vals[a]), label)
+		} else {
+			h.Add(n.disc[a].Interval(vals[a]), label)
+		}
+	}
+}
+
+// resolveAll resolves every pending split whose buffer the scan just
+// completed, top-down so that buffered records cascade into nested pendings
+// before those are resolved in turn.
+func (b *builder) resolveAll() {
+	pend := b.pendings
+	b.pendings = nil
+	for _, p := range pend {
+		b.resolvePending(p)
+	}
+}
+
+// resolvePending derives the exact split point of a pending node from its
+// sorted buffer (Part I, lines 11-13 of Figure 4): boundary candidates and
+// every distinct buffered value inside the alive gaps are evaluated, region
+// children are merged to the chosen side, and buffered records are
+// distributed down the now-final structure.
+func (b *builder) resolvePending(p *bnode) {
+	if p.dead || p.state != stPending {
+		return
+	}
+	attr := p.pending.attr
+	gaps := p.pending.gaps
+	A := len(gaps)
+
+	regTotals := make([][]int, A+1)
+	total := make([]int, b.nc)
+	for r, c := range p.children {
+		regTotals[r] = c.classTotals(b.nc)
+		for i, v := range regTotals[r] {
+			total[i] += v
+		}
+	}
+	for i := 0; i < p.buffer.Len(); i++ {
+		total[p.buffer.Label(i)]++
+	}
+	n := 0
+	for _, v := range total {
+		n += v
+	}
+	parentG := gini.Index(total)
+
+	p.buffer.sortByAttr(attr)
+	cum := make([]int, b.nc)
+	cumN := 0
+	bestG := 2.0
+	bestTh := 0.0
+	bestGap := -1
+	found := false
+	try := func(th float64, g int) {
+		if cumN == 0 || cumN == n {
+			return
+		}
+		if gg := gini.SplitBelow(cum, total); gg < bestG {
+			bestG, bestTh, bestGap = gg, th, g
+			found = true
+		}
+	}
+	bi := 0
+	for g := 0; g < A; g++ {
+		for _, v := range regTotals[g] {
+			cumN += v
+		}
+		for i, v := range regTotals[g] {
+			cum[i] += v
+		}
+		lo, hi := gaps[g].Lo, gaps[g].Hi
+		// Consume any stragglers at or below the gap's left boundary.
+		for bi < p.buffer.Len() && p.buffer.Row(bi)[attr] <= lo {
+			cum[p.buffer.Label(bi)]++
+			cumN++
+			bi++
+		}
+		if !math.IsInf(lo, -1) {
+			try(lo, g)
+		}
+		for bi < p.buffer.Len() {
+			v := p.buffer.Row(bi)[attr]
+			if v > hi {
+				break
+			}
+			cum[p.buffer.Label(bi)]++
+			cumN++
+			last := bi+1 >= p.buffer.Len() || p.buffer.Row(bi + 1)[attr] != v
+			if last {
+				try(v, g)
+			}
+			bi++
+		}
+		if !math.IsInf(hi, 1) {
+			try(hi, g)
+		}
+	}
+
+	// The decision-time best boundary is a standing candidate: when nothing
+	// inside the alive gaps beats it, resolve there instead (observation (i)
+	// of Section 2.1). Its children start fresh because the region
+	// histograms cannot be divided at an interior boundary.
+	if pd := p.pending; pd.fallbackCum != nil && (!found || pd.fallbackGini < bestG-1e-12) {
+		if parentG-pd.fallbackGini >= b.cfg.MinGiniGain {
+			b.resolveAtFallback(p, total)
+			return
+		}
+	}
+	if !found || parentG-bestG < b.cfg.MinGiniGain {
+		// The alive gaps held no improving split point (typically the
+		// attribute is effectively constant here and its optimistic interval
+		// estimate was unfalsifiable). Ban the attribute and rebuild the
+		// node's histograms from the next scan so another attribute can win.
+		b.revertToBuilding(p, attr, total)
+		return
+	}
+
+	if p.depth == 0 {
+		b.stats.RootSplitGini = bestG
+	}
+	left := b.mergeRegions(p.children[:bestGap+1])
+	right := b.mergeRegions(p.children[bestGap+1:])
+	p.tn.Split = &tree.Split{Kind: tree.SplitNumeric, Attr: attr, Threshold: bestTh}
+	p.tn.Left, p.tn.Right = left.tn, right.tn
+	p.children = []*bnode{left, right}
+	p.state = stResolved
+	p.pending = nil
+
+	for i := 0; i < p.buffer.Len(); i++ {
+		row := p.buffer.Row(i)
+		dst := right
+		if row[attr] <= bestTh {
+			dst = left
+		}
+		b.route(dst, p.buffer.rid(i), row, p.buffer.Label(i))
+	}
+	p.buffer.reset()
+
+	left.tn.SetCounts(left.classTotals(b.nc))
+	right.tn.SetCounts(right.classTotals(b.nc))
+
+	// Resolve nested pendings created by a same-scan double split.
+	if left.state == stPending {
+		b.resolvePending(left)
+	}
+	if right.state == stPending {
+		b.resolvePending(right)
+	}
+}
+
+// resolveAtFallback resolves a pending split at the decision-time best
+// boundary. The region children are retired and both sides start as fresh
+// building nodes: every record re-routes through the now-final split during
+// the next scan.
+func (b *builder) resolveAtFallback(p *bnode, total []int) {
+	pd := p.pending
+	if p.depth == 0 {
+		b.stats.RootSplitGini = pd.fallbackGini
+	}
+	leftCounts := append([]int(nil), pd.fallbackCum...)
+	rightCounts := make([]int, b.nc)
+	for i := range rightCounts {
+		rightCounts[i] = total[i] - leftCounts[i]
+	}
+	ldisc := append([]*quantile.Discretizer(nil), p.children[0].disc...)
+	rdisc := append([]*quantile.Discretizer(nil), p.children[len(p.children)-1].disc...)
+	for _, c := range p.children {
+		b.retire(c, p)
+	}
+	left := b.newChild(p.depth+1, ldisc, pd.fallbackX[0], leftCounts, true)
+	right := b.newChild(p.depth+1, rdisc, pd.fallbackX[1], rightCounts, true)
+	p.tn.Split = &tree.Split{Kind: tree.SplitNumeric, Attr: pd.attr, Threshold: pd.fallbackThresh}
+	p.tn.Left, p.tn.Right = left.tn, right.tn
+	p.children = []*bnode{left, right}
+	p.state = stResolved
+	p.pending = nil
+	p.buffer.reset()
+}
+
+// revertToBuilding undoes a pending split that failed to resolve: the
+// attribute is banned for this node and the node is re-decided. When the
+// region children's histograms can be merged back into per-attribute
+// marginals (plus the buffered records), the re-decision happens
+// immediately with no extra scan; otherwise the node rejoins the frontier
+// with fresh histograms refilled by the next scan.
+func (b *builder) revertToBuilding(p *bnode, attr int, counts []int) {
+	b.stats.Reverts++
+	p.tn.SetCounts(counts)
+	if p.banned == nil {
+		p.banned = make(map[int]bool)
+	}
+	p.banned[attr] = true
+
+	view := b.mergedMarginalView(p, counts)
+	for _, c := range p.children {
+		b.retire(c, p)
+	}
+	p.children = nil
+	p.pending = nil
+	p.state = stBuilding
+	if view != nil {
+		p.buffer.reset()
+		b.decideNode(p, view, decidePrimary)
+		return
+	}
+	p.buffer.reset()
+	b.allocHists(p)
+	p.notBefore = b.round + 1
+	b.scanned = append(b.scanned, p)
+}
+
+// mergedMarginalView reconstructs a marginal-only decision view for a
+// failed pending node from its region children's histograms plus its
+// buffered records. Returns nil when a region's histograms are not directly
+// mergeable (e.g. a nested pending region), in which case the caller falls
+// back to a rescan.
+func (b *builder) mergedMarginalView(p *bnode, totals []int) *histView {
+	attr := p.pending.attr
+	for _, c := range p.children {
+		if c.state != stBuilding {
+			return nil
+		}
+	}
+	v := &histView{
+		marg:  make([]*histogram.Hist1D, b.na),
+		disc:  p.disc,
+		xAttr: p.xAttr,
+	}
+	for a := 0; a < b.na; a++ {
+		if a == attr {
+			continue // banned; no need to reconstruct
+		}
+		for _, c := range p.children {
+			m := regionMarginal(c, a)
+			if m == nil {
+				return nil
+			}
+			if v.marg[a] == nil {
+				v.marg[a] = m.Clone()
+			} else if m.Bins() != v.marg[a].Bins() {
+				return nil
+			} else {
+				v.marg[a].Merge(m)
+			}
+		}
+	}
+	// Fold the buffered gap records into the marginals.
+	for i := 0; i < p.buffer.Len(); i++ {
+		row := p.buffer.Row(i)
+		label := p.buffer.Label(i)
+		for a := 0; a < b.na; a++ {
+			h := v.marg[a]
+			if h == nil {
+				continue
+			}
+			if b.schema.Attrs[a].Kind == dataset.Categorical {
+				h.Add(int(row[a]), label)
+			} else {
+				bin := p.disc[a].Interval(row[a])
+				if bin >= h.Bins() {
+					bin = h.Bins() - 1
+				}
+				h.Add(bin, label)
+			}
+		}
+	}
+	v.totals = append([]int(nil), totals...)
+	for _, c := range v.totals {
+		v.n += c
+	}
+	return v
+}
+
+// regionMarginal extracts a region child's 1-D marginal for one attribute,
+// whatever histogram form the region carries.
+func regionMarginal(c *bnode, a int) *histogram.Hist1D {
+	if c.hists != nil && c.hists[a] != nil {
+		return c.hists[a]
+	}
+	if c.mats != nil {
+		if a == c.xAttr {
+			for _, m := range c.mats {
+				if m != nil {
+					return m.MarginalX()
+				}
+			}
+			return nil
+		}
+		if m := c.mats[a]; m != nil {
+			return m.MarginalY()
+		}
+	}
+	return nil
+}
+
+// mergeRegions folds a run of region children into one building node, as in
+// Figure 3 ("the histogram matrix of the subnode in the middle will be
+// merged into the matrix of the left-most subnode").
+func (b *builder) mergeRegions(regions []*bnode) *bnode {
+	if len(regions) == 1 {
+		return regions[0]
+	}
+	surv := regions[0]
+	for _, r := range regions[1:] {
+		for a, h := range r.hists {
+			if h != nil {
+				surv.hists[a].Merge(h)
+			}
+		}
+		for a, m := range r.mats {
+			if m != nil {
+				surv.mats[a].Merge(m)
+			}
+		}
+		r.dead = true
+		r.succ = surv
+		r.dropHists()
+		delete(b.byTN, r.tn)
+	}
+	return surv
+}
+
+// finalizeAsLeaf turns a node (in any builder state) into a finished leaf,
+// discarding pending machinery and re-aiming descendant node ids so stale
+// nid entries still route here. counts, when non-nil, replaces the tree
+// node's class distribution.
+func (b *builder) finalizeAsLeaf(n *bnode, counts []int) {
+	if counts != nil {
+		n.tn.SetCounts(counts)
+	} else if n.tn.ClassCounts == nil {
+		n.tn.SetCounts(n.classTotals(b.nc))
+	}
+	n.tn.Split = nil
+	n.tn.Left, n.tn.Right = nil, nil
+	for _, c := range n.children {
+		b.retire(c, n)
+	}
+	n.children = nil
+	n.pending = nil
+	n.buffer.reset()
+	n.dropHists()
+	n.state = stLeaf
+}
+
+// retire marks a subtree of builder nodes dead and re-aims their ids at the
+// surviving ancestor.
+func (b *builder) retire(n *bnode, to *bnode) {
+	if n == nil || n.dead {
+		return
+	}
+	n.dead = true
+	n.succ = to
+	n.dropHists()
+	n.buffer.reset()
+	delete(b.byTN, n.tn)
+	for _, c := range n.children {
+		b.retire(c, to)
+	}
+	n.children = nil
+}
+
+// finishCollects completes every collect node whose buffer a scan (and any
+// subsequent distribution) has filled, building the rest of its subtree in
+// memory with the exact algorithm.
+func (b *builder) finishCollects() {
+	var remaining []*bnode
+	for _, c := range b.collects {
+		if c.dead || c.state != stCollect {
+			continue
+		}
+		if c.collectRound >= b.round {
+			remaining = append(remaining, c)
+			continue
+		}
+		sub := exact.BuildSubtree(&c.buffer, b.schema, exact.Config{
+			MinSplitRecords: b.cfg.MinSplitRecords,
+			MaxDepth:        b.cfg.MaxDepth - c.depth,
+			MinGiniGain:     b.cfg.MinGiniGain,
+			PurityStop:      b.cfg.PurityStop,
+		})
+		// Graft in place so the parent's pointer to c.tn stays valid.
+		*c.tn = *sub
+		c.buffer.reset()
+		c.state = stDone
+	}
+	b.collects = remaining
+}
+
+// decideScanned runs Part II (split selection) on every node whose
+// histograms the scan just completed.
+func (b *builder) decideScanned() {
+	toDecide := b.scanned
+	b.scanned = nil
+	for _, n := range toDecide {
+		if n.dead || n.state != stBuilding {
+			continue
+		}
+		if n.notBefore > b.round {
+			// Reverted this round; its histograms await the next scan.
+			b.scanned = append(b.scanned, n)
+			continue
+		}
+		b.decideNode(n, b.viewOf(n), decidePrimary)
+	}
+}
+
+// applyPrune runs PUBLIC(1) over the tree built so far. During
+// construction, frontier nodes (building, pending, collecting) are
+// expandable and may be finalized by the lower bound; afterwards a plain
+// bottom-up MDL prune runs.
+func (b *builder) applyPrune(during bool) {
+	var expandable map[*tree.Node]bool
+	if during {
+		expandable = make(map[*tree.Node]bool)
+		for _, n := range b.all {
+			if n.dead {
+				continue
+			}
+			switch n.state {
+			case stBuilding, stPending, stCollect:
+				expandable[n.tn] = true
+			}
+		}
+	}
+	t := &tree.Tree{Root: b.root.tn, Schema: b.schema}
+	res := prune.PUBLIC1(t, expandable)
+	for tn := range res.Finalized {
+		if bn := b.byTN[tn]; bn != nil && !bn.dead {
+			b.finalizeAsLeaf(bn, nil)
+		}
+	}
+	for tn := range res.Collapsed {
+		if bn := b.byTN[tn]; bn != nil && !bn.dead {
+			b.finalizeAsLeaf(bn, nil)
+		}
+	}
+}
+
+// finalizeRemaining closes out any in-flight nodes when the round budget is
+// exhausted.
+func (b *builder) finalizeRemaining() {
+	for _, n := range b.all {
+		if n.dead {
+			continue
+		}
+		switch n.state {
+		case stBuilding, stPending, stCollect:
+			b.finalizeAsLeaf(n, nil)
+		}
+	}
+	b.scanned = nil
+	b.pendings = nil
+	b.collects = nil
+}
+
+// debugValidate enables per-round structural invariant checks (tests).
+var debugValidate bool
+
+// validate panics when a live node references a dead child or a resolved
+// node lacks exactly two children.
+func (b *builder) validate(when string) {
+	var walk func(n *bnode, path string)
+	walk = func(n *bnode, path string) {
+		if n.dead {
+			panic(fmt.Sprintf("core: %s (round %d): dead node id=%d state=%d reachable via %s",
+				when, b.round, n.id, n.state, path))
+		}
+		if n.state == stResolved && (len(n.children) != 2 || n.tn.Split == nil) {
+			panic(fmt.Sprintf("core: %s (round %d): resolved node id=%d children=%d split=%v via %s",
+				when, b.round, n.id, len(n.children), n.tn.Split, path))
+		}
+		for i, c := range n.children {
+			walk(c, fmt.Sprintf("%s->%d[%d]", path, n.id, i))
+		}
+	}
+	walk(b.root, "root")
+}
+
+// snapshotMemory records peak histogram and buffer footprints — the
+// quantities Figure 19 charts for CMP.
+func (b *builder) snapshotMemory() {
+	var hist, buf int64
+	for _, n := range b.all {
+		if n.dead {
+			continue
+		}
+		hist += n.histMemoryBytes()
+		buf += n.buffer.bytes()
+	}
+	if hist > b.stats.PeakHistogramBytes {
+		b.stats.PeakHistogramBytes = hist
+	}
+	if buf > b.stats.PeakBufferBytes {
+		b.stats.PeakBufferBytes = buf
+	}
+	if hist+buf > b.stats.PeakMemoryBytes {
+		b.stats.PeakMemoryBytes = hist + buf
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's contribution: the CMP family of
+// decision-tree builders.
+//
+//   - CMP-S keeps one-dimensional equal-depth interval histograms per
+//     attribute, estimates a lower bound of the gini index inside each
+//     interval by the CLOUDS hill-climbing heuristic, and defers the exact
+//     split point: records falling inside the few "alive" intervals are
+//     buffered during the *next* scan and sorted, so the exact split is
+//     recovered without CLOUDS' extra pass (Figure 4 of the paper).
+//   - CMP-B replaces the histograms with bivariate matrices that share a
+//     predicted X-axis attribute; when a split lands on the X-axis the
+//     matrices are partitioned in place and a second tree level is grown
+//     from the same scan (Figure 10).
+//   - CMP (full) additionally searches the matrices for linear-combination
+//     splits a*x + b*y <= c via the intercept-walking procedures of
+//     Figure 12.
+//
+// All three share one level-synchronous builder: each construction round
+// performs exactly one sequential scan of the training set.
+package core
+
+import (
+	"fmt"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/tree"
+)
+
+// Algorithm selects the CMP variant.
+type Algorithm int
+
+const (
+	// CMPS is the single-variable variant (Section 2.1).
+	CMPS Algorithm = iota
+	// CMPB adds bivariate matrices and split prediction (Section 2.2).
+	CMPB
+	// CMPFull adds linear-combination splits (Section 2.3).
+	CMPFull
+)
+
+// String names the variant the way the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case CMPS:
+		return "CMP-S"
+	case CMPB:
+		return "CMP-B"
+	case CMPFull:
+		return "CMP"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config tunes a build. The zero value is not usable; call Default first or
+// use Build's normalization.
+type Config struct {
+	// Algorithm selects CMP-S, CMP-B or full CMP.
+	Algorithm Algorithm
+	// Intervals is the number of equal-depth intervals per numeric
+	// attribute (the paper uses 100-120 for large datasets).
+	Intervals int
+	// MaxAlive bounds the alive intervals retained per split (the paper
+	// finds 2 is enough, usually 1).
+	MaxAlive int
+	// MinSplitRecords stops splitting nodes with fewer records.
+	MinSplitRecords int
+	// MaxDepth caps the tree depth.
+	MaxDepth int
+	// MaxRounds caps construction rounds (scans); a safety net only.
+	MaxRounds int
+	// MinGiniGain is the minimum improvement of the split index over the
+	// node's own gini for a split to be accepted.
+	MinGiniGain float64
+	// PurityStop, when positive, stops splitting nodes whose majority class
+	// already covers this fraction of records ("consists entirely, or
+	// almost entirely, of records from one class"). Zero disables.
+	PurityStop float64
+	// ObliqueThreshold: full CMP only tries linear-combination splits when
+	// the best univariate gini index is above this value ("already lower
+	// than a certain threshold" heuristic, Section 2.3).
+	ObliqueThreshold float64
+	// ObliqueGain is the relative improvement a linear split must deliver
+	// over the best univariate split (the paper suggests 20%).
+	ObliqueGain float64
+	// ObliqueMinRecords skips the line search for nodes smaller than this;
+	// the search costs O((q_x+q_y) * q_x * q_y) per matrix.
+	ObliqueMinRecords int
+	// ObliqueMaxDepth limits linear-combination splits to shallow nodes.
+	// The linear relationships the paper targets are global properties of
+	// the dataset (Section 2.3); deep in the tree the residual regions are
+	// rarely linear and repeated line searches cost rounds for little gain.
+	ObliqueMaxDepth int
+	// ObliqueAllPairs extends full CMP beyond the paper: keep histogram
+	// matrices for every numeric attribute pair, not only the N-1 pairs
+	// sharing the predicted X-axis. This removes the paper's stated
+	// limitation (i) of Section 2.3 — linear relationships between two
+	// Y-axis attributes are invisible — at O(K^2) histogram cost per node.
+	ObliqueAllPairs bool
+	// InMemoryNodeRecords: nodes with at most this many records are finished
+	// in memory — the next scan gathers their records into a buffer and the
+	// subtree is completed with the exact algorithm, the standard bottoming-
+	// out strategy for disk-oriented builders. Negative disables; zero means
+	// the default.
+	InMemoryNodeRecords int
+	// Prune applies PUBLIC(1) pruning after each round.
+	Prune bool
+	// DiscretizeSample bounds the prefix sample used to compute equal-depth
+	// interval boundaries. Zero means the default; a negative value runs a
+	// full pass through bounded-memory Greenwald-Khanna sketches instead of
+	// sampling.
+	DiscretizeSample int
+	// Seed drives the discretization sample and the root's random X-axis.
+	Seed int64
+}
+
+// Default returns the configuration used throughout the evaluation.
+func Default(algo Algorithm) Config {
+	return Config{
+		Algorithm:           algo,
+		Intervals:           100,
+		MaxAlive:            2,
+		MinSplitRecords:     2,
+		MaxDepth:            32,
+		MaxRounds:           64,
+		MinGiniGain:         1e-4,
+		ObliqueThreshold:    0.1,
+		ObliqueGain:         0.2,
+		ObliqueMinRecords:   200,
+		ObliqueMaxDepth:     4,
+		InMemoryNodeRecords: 4096,
+		Prune:               true,
+		DiscretizeSample:    50_000,
+		Seed:                1,
+	}
+}
+
+// normalize fills unset fields with defaults and validates the rest.
+func (c Config) normalize() (Config, error) {
+	d := Default(c.Algorithm)
+	if c.Intervals == 0 {
+		c.Intervals = d.Intervals
+	}
+	if c.MaxAlive == 0 {
+		c.MaxAlive = d.MaxAlive
+	}
+	if c.MinSplitRecords == 0 {
+		c.MinSplitRecords = d.MinSplitRecords
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = d.MaxDepth
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = d.MaxRounds
+	}
+	if c.MinGiniGain == 0 {
+		c.MinGiniGain = d.MinGiniGain
+	}
+	if c.ObliqueThreshold == 0 {
+		c.ObliqueThreshold = d.ObliqueThreshold
+	}
+	if c.ObliqueGain == 0 {
+		c.ObliqueGain = d.ObliqueGain
+	}
+	if c.ObliqueMinRecords == 0 {
+		c.ObliqueMinRecords = d.ObliqueMinRecords
+	}
+	if c.ObliqueMaxDepth == 0 {
+		c.ObliqueMaxDepth = d.ObliqueMaxDepth
+	}
+	if c.InMemoryNodeRecords == 0 {
+		c.InMemoryNodeRecords = d.InMemoryNodeRecords
+	}
+	if c.DiscretizeSample == 0 {
+		c.DiscretizeSample = d.DiscretizeSample
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Intervals < 2 {
+		return c, fmt.Errorf("core: Intervals must be >= 2, got %d", c.Intervals)
+	}
+	if c.MaxAlive < 1 {
+		return c, fmt.Errorf("core: MaxAlive must be >= 1, got %d", c.MaxAlive)
+	}
+	if c.Algorithm != CMPS && c.Algorithm != CMPB && c.Algorithm != CMPFull {
+		return c, fmt.Errorf("core: unknown algorithm %d", int(c.Algorithm))
+	}
+	return c, nil
+}
+
+// Stats reports what a build did.
+type Stats struct {
+	// Rounds is the number of construction rounds; each performs one scan.
+	Rounds int
+	// Scans is the number of full sequential scans of the training set
+	// (rounds plus the initial discretization pass).
+	Scans int
+	// BufferedRecords counts records set aside in alive-interval buffers
+	// over the whole build.
+	BufferedRecords int64
+	// PeakBufferBytes is the largest simultaneous buffer footprint.
+	PeakBufferBytes int64
+	// PeakHistogramBytes is the largest simultaneous histogram/matrix
+	// footprint.
+	PeakHistogramBytes int64
+	// PeakMemoryBytes is the peak of buffers plus histograms, the quantity
+	// Figure 19 charts for CMP.
+	PeakMemoryBytes int64
+	// PredictionTotal and PredictionHits measure CMP-B's predictSplit: of
+	// the nodes holding matrices, how often the chosen split attribute was
+	// the predicted X-axis.
+	PredictionTotal, PredictionHits int
+	// DoubleSplits counts rounds in which a node grew two levels from one
+	// scan.
+	DoubleSplits int
+	// ObliqueSplits counts linear-combination splits in the final tree.
+	ObliqueSplits int
+	// NidBytesIO models the paper's disk-swapped node-id array: each scan
+	// reads and rewrites 4 bytes per record.
+	NidBytesIO int64
+	// Reverts counts pending splits whose alive intervals held no improving
+	// point, forcing the node to re-decide on another attribute.
+	Reverts int
+
+	// Root-split diagnostics for Table 1: the attribute the root split on,
+	// how many alive intervals its provisional split retained, and the
+	// exact gini index of the resolved split.
+	RootSplitAttr      int
+	RootAliveIntervals int
+	RootSplitGini      float64
+}
+
+// Result bundles a finished build.
+type Result struct {
+	Tree  *tree.Tree
+	Stats Stats
+	// IO is the source's cumulative scan accounting for this build.
+	IO storage.Stats
+}

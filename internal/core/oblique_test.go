@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cmpdt/internal/histogram"
+	"cmpdt/internal/quantile"
+)
+
+// diagonalMatrix builds a matrix where class 0 occupies cells under the
+// anti-diagonal i+j < bins and class 1 the rest — a perfect negative-slope
+// boundary.
+func diagonalMatrix(bins int) *histogram.Matrix {
+	m := histogram.NewMatrix(bins, bins, 2)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			class := 0
+			if i+j >= bins {
+				class = 1
+			}
+			for k := 0; k < 5; k++ {
+				m.Add(i, j, class)
+			}
+		}
+	}
+	return m
+}
+
+func TestLineGiniSeparatesDiagonal(t *testing.T) {
+	m := diagonalMatrix(10)
+	// The line with intercepts (10, 10) is exactly the anti-diagonal: only
+	// crossed cells carry mixed mass, and the three-part gini is low.
+	g, parts3 := lineGini(m, 10, 10, false)
+	if g > 0.05 {
+		t.Errorf("anti-diagonal line gini = %v, want near 0", g)
+	}
+	_ = parts3
+	// A far-off line performs badly.
+	gBad, _ := lineGini(m, 2, 2, false)
+	if gBad < g {
+		t.Errorf("off line (%v) beats true line (%v)", gBad, g)
+	}
+}
+
+func TestWalkLineFindsDiagonal(t *testing.T) {
+	m := diagonalMatrix(12)
+	g, x, y, ok := walkLine(m, false)
+	if !ok {
+		t.Fatal("walk found nothing")
+	}
+	if g > 0.08 {
+		t.Errorf("walk best gini %v, want near 0 (intercepts %d,%d)", g, x, y)
+	}
+	// The intercepts should land near the true diagonal (12, 12).
+	if x < 9 || y < 9 {
+		t.Errorf("intercepts (%d,%d) far from (12,12)", x, y)
+	}
+}
+
+func TestWalkLineMirroredFindsPositiveSlope(t *testing.T) {
+	// Class 0 below the main diagonal j < i: a positive-slope boundary only
+	// the mirrored walk can represent.
+	bins := 10
+	m := histogram.NewMatrix(bins, bins, 2)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			class := 0
+			if j >= i {
+				class = 1
+			}
+			for k := 0; k < 5; k++ {
+				m.Add(i, j, class)
+			}
+		}
+	}
+	gNeg, _, _, _ := walkLine(m, false)
+	gPos, _, _, okPos := walkLine(m, true)
+	if !okPos {
+		t.Fatal("mirrored walk found nothing")
+	}
+	if gPos > 0.1 {
+		t.Errorf("mirrored walk gini %v, want near 0", gPos)
+	}
+	if gPos >= gNeg {
+		t.Errorf("positive-slope boundary: mirrored %v should beat plain %v", gPos, gNeg)
+	}
+}
+
+func TestCenterGiniAgreesWithAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := histogram.NewMatrix(6, 6, 2)
+	for i := 0; i < 300; i++ {
+		m.Add(rng.Intn(6), rng.Intn(6), rng.Intn(2))
+	}
+	for _, mirror := range []bool{false, true} {
+		for x := 1; x <= 8; x += 3 {
+			for y := 1; y <= 8; y += 3 {
+				g := centerGini(m, x, y, mirror)
+				if g < 0 || g > 0.5+1e-9 {
+					t.Fatalf("centerGini(%d,%d,%v) = %v out of range", x, y, mirror, g)
+				}
+			}
+		}
+	}
+}
+
+func TestRefineLineImproves(t *testing.T) {
+	m := diagonalMatrix(16)
+	startX, startY := 8, 8 // deliberately off the true (16,16) line
+	before := centerGini(m, startX, startY, false)
+	x, y := refineLine(m, startX, startY, false)
+	after := centerGini(m, x, y, false)
+	if after > before+1e-12 {
+		t.Errorf("refine worsened gini: %v -> %v", before, after)
+	}
+	if after > 0.1 {
+		t.Errorf("refined gini %v, want near 0 (intercepts %d,%d)", after, x, y)
+	}
+}
+
+func TestCoarsenPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := histogram.NewMatrix(100, 70, 3)
+	for i := 0; i < 5000; i++ {
+		m.Add(rng.Intn(100), rng.Intn(70), rng.Intn(3))
+	}
+	cm, xMap, yMap := coarsen(m, 40)
+	if cm.XBins() > 40 || cm.YBins() > 40 {
+		t.Fatalf("coarsened to %dx%d, cap 40", cm.XBins(), cm.YBins())
+	}
+	if cm.Total() != m.Total() {
+		t.Errorf("mass changed: %d -> %d", m.Total(), cm.Total())
+	}
+	if xMap[len(xMap)-1] != 100 || yMap[len(yMap)-1] != 70 {
+		t.Errorf("bin maps do not span the source: %d %d", xMap[len(xMap)-1], yMap[len(yMap)-1])
+	}
+	// Small matrices pass through untouched.
+	small := histogram.NewMatrix(5, 5, 2)
+	if sm, _, _ := coarsen(small, 40); sm != small {
+		t.Error("small matrix was copied needlessly")
+	}
+}
+
+func TestValAtMapsBoundaries(t *testing.T) {
+	d, err := quantile.FromCuts([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0.0, 40.0
+	cases := map[float64]float64{
+		0: 0, 1: 10, 2: 20, 3: 30, 4: 40,
+	}
+	for in, want := range cases {
+		if got := valAt(d, lo, hi, in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("valAt(%v) = %v, want %v", in, got, want)
+		}
+	}
+	// Extrapolation beyond the grid keeps moving with average bin width.
+	if got := valAt(d, lo, hi, 6); got <= 40 {
+		t.Errorf("valAt(6) = %v, want > 40", got)
+	}
+	if got := valAt(d, lo, hi, -1); got >= 0 {
+		t.Errorf("valAt(-1) = %v, want < 0", got)
+	}
+}

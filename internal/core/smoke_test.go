@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+func trainAccuracy(t *testing.T, algo Algorithm, fn synth.Func, n int, cfg func(*Config)) float64 {
+	t.Helper()
+	tbl := synth.Generate(fn, n, 42)
+	src := storage.NewMem(tbl)
+	c := Default(algo)
+	c.Intervals = 25
+	c.InMemoryNodeRecords = 256
+	if cfg != nil {
+		cfg(&c)
+	}
+	res, err := Build(src, c)
+	if err != nil {
+		t.Fatalf("Build(%v): %v", algo, err)
+	}
+	correct := 0
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if res.Tree.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	t.Logf("%v on %v: acc=%.3f leaves=%d depth=%d scans=%d rounds=%d buffered=%d oblique=%d predHit=%d/%d double=%d",
+		algo, fn, acc, res.Tree.Leaves(), res.Tree.Depth(), res.Stats.Scans, res.Stats.Rounds,
+		res.Stats.BufferedRecords, res.Stats.ObliqueSplits,
+		res.Stats.PredictionHits, res.Stats.PredictionTotal, res.Stats.DoubleSplits)
+	return acc
+}
+
+func TestSmokeCMPS(t *testing.T) {
+	if acc := trainAccuracy(t, CMPS, synth.F2, 5000, nil); acc < 0.95 {
+		t.Errorf("CMP-S training accuracy %.3f < 0.95", acc)
+	}
+}
+
+func TestSmokeCMPB(t *testing.T) {
+	if acc := trainAccuracy(t, CMPB, synth.F2, 5000, nil); acc < 0.95 {
+		t.Errorf("CMP-B training accuracy %.3f < 0.95", acc)
+	}
+}
+
+func TestSmokeCMPFull(t *testing.T) {
+	if acc := trainAccuracy(t, CMPFull, synth.FPaper, 5000, nil); acc < 0.95 {
+		t.Errorf("CMP training accuracy %.3f < 0.95", acc)
+	}
+}

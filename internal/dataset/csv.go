@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table as CSV: a header row with attribute names plus
+// "class", then one row per record. Categorical values and class labels are
+// written symbolically.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, t.schema.NumAttrs()+1)
+	for i := range t.schema.Attrs {
+		header = append(header, t.schema.Attrs[i].Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < t.NumRecords(); i++ {
+		vals := t.Row(i)
+		for j, v := range vals {
+			a := &t.schema.Attrs[j]
+			if a.Kind == Categorical {
+				row[j] = a.Values[int(v)]
+			} else {
+				row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		row[len(row)-1] = t.schema.Classes[t.Label(i)]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream written by WriteCSV (or hand-authored in the
+// same shape) against the given schema. The header row is validated.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	t, err := New(schema)
+	if err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumAttrs() + 1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for i := range schema.Attrs {
+		if header[i] != schema.Attrs[i].Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q",
+				i, header[i], schema.Attrs[i].Name)
+		}
+	}
+	if last := header[len(header)-1]; last != "class" {
+		return nil, fmt.Errorf("dataset: CSV last column is %q, expected \"class\"", last)
+	}
+
+	classIdx := make(map[string]int, schema.NumClasses())
+	for i, c := range schema.Classes {
+		classIdx[c] = i
+	}
+	catIdx := make([]map[string]int, schema.NumAttrs())
+	for i := range schema.Attrs {
+		if schema.Attrs[i].Kind == Categorical {
+			m := make(map[string]int, len(schema.Attrs[i].Values))
+			for j, v := range schema.Attrs[i].Values {
+				m[v] = j
+			}
+			catIdx[i] = m
+		}
+	}
+
+	vals := make([]float64, schema.NumAttrs())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		for j := 0; j < schema.NumAttrs(); j++ {
+			if m := catIdx[j]; m != nil {
+				idx, ok := m[rec[j]]
+				if !ok {
+					return nil, fmt.Errorf("dataset: line %d: unknown category %q for attribute %q",
+						line, rec[j], schema.Attrs[j].Name)
+				}
+				vals[j] = float64(idx)
+				continue
+			}
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, schema.Attrs[j].Name, err)
+			}
+			vals[j] = v
+		}
+		label, ok := classIdx[rec[len(rec)-1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, rec[len(rec)-1])
+		}
+		if err := t.Append(vals, label); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}

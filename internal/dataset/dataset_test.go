@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		Attrs: []Attribute{
+			{Name: "x", Kind: Numeric},
+			{Name: "color", Kind: Categorical, Values: []string{"red", "green", "blue"}},
+		},
+		Classes: []string{"no", "yes"},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := testSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	bad := []*Schema{
+		{Classes: []string{"a", "b"}},
+		{Attrs: []Attribute{{Name: "x"}}, Classes: []string{"only"}},
+		{Attrs: []Attribute{{Name: ""}}, Classes: []string{"a", "b"}},
+		{Attrs: []Attribute{{Name: "x"}, {Name: "x"}}, Classes: []string{"a", "b"}},
+		{Attrs: []Attribute{{Name: "c", Kind: Categorical}}, Classes: []string{"a", "b"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := testSchema()
+	c := s.Clone()
+	c.Attrs[1].Values[0] = "mutated"
+	c.Classes[0] = "mutated"
+	if s.Attrs[1].Values[0] != "red" || s.Classes[0] != "no" {
+		t.Error("Clone shares backing arrays")
+	}
+	if s.AttrIndex("color") != 1 || s.AttrIndex("missing") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+}
+
+func TestTableAppendValidation(t *testing.T) {
+	tbl := MustNew(testSchema())
+	if err := tbl.Append([]float64{1.5, 2}, 1); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	cases := []struct {
+		vals  []float64
+		label int
+	}{
+		{[]float64{1}, 0},             // wrong arity
+		{[]float64{1, 2, 3}, 0},       // wrong arity
+		{[]float64{1, 2}, 2},          // label out of range
+		{[]float64{1, 2}, -1},         // label out of range
+		{[]float64{1, 3}, 0},          // category index out of range
+		{[]float64{1, 0.5}, 0},        // non-integral category
+		{[]float64{math.NaN(), 0}, 0}, // NaN
+	}
+	for i, c := range cases {
+		if err := tbl.Append(c.vals, c.label); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+	if tbl.NumRecords() != 1 {
+		t.Errorf("NumRecords = %d, want 1", tbl.NumRecords())
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := MustNew(testSchema())
+	tbl.Append([]float64{1, 0}, 0)
+	tbl.Append([]float64{2, 1}, 1)
+	tbl.Append([]float64{3, 2}, 1)
+	if got := tbl.Value(1, 0); got != 2 {
+		t.Errorf("Value(1,0) = %v", got)
+	}
+	if got := tbl.Label(2); got != 1 {
+		t.Errorf("Label(2) = %v", got)
+	}
+	if got := tbl.ClassCounts(); got[0] != 1 || got[1] != 2 {
+		t.Errorf("ClassCounts = %v", got)
+	}
+	if col := tbl.Column(0); len(col) != 3 || col[2] != 3 {
+		t.Errorf("Column(0) = %v", col)
+	}
+	if row := tbl.Row(1); row[0] != 2 || row[1] != 1 {
+		t.Errorf("Row(1) = %v", row)
+	}
+}
+
+func TestTableSliceAndSplit(t *testing.T) {
+	tbl := MustNew(testSchema())
+	for i := 0; i < 10; i++ {
+		tbl.Append([]float64{float64(i), float64(i % 3)}, i%2)
+	}
+	s := tbl.Slice([]int{9, 0, 5})
+	if s.NumRecords() != 3 || s.Value(0, 0) != 9 || s.Value(2, 0) != 5 {
+		t.Errorf("Slice wrong: n=%d first=%v", s.NumRecords(), s.Value(0, 0))
+	}
+	yes, no := tbl.Split(func(row []float64, label int) bool { return row[0] >= 5 })
+	if yes.NumRecords() != 5 || no.NumRecords() != 5 {
+		t.Errorf("Split sizes %d/%d, want 5/5", yes.NumRecords(), no.NumRecords())
+	}
+	for i := 0; i < yes.NumRecords(); i++ {
+		if yes.Value(i, 0) < 5 {
+			t.Errorf("record %v on wrong side", yes.Value(i, 0))
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := MustNew(testSchema())
+	tbl.Append([]float64{1.25, 0}, 0)
+	tbl.Append([]float64{-3, 2}, 1)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != 2 {
+		t.Fatalf("round trip lost records: %d", back.NumRecords())
+	}
+	for i := 0; i < 2; i++ {
+		if back.Label(i) != tbl.Label(i) {
+			t.Errorf("label %d mismatch", i)
+		}
+		for a := 0; a < 2; a++ {
+			if back.Value(i, a) != tbl.Value(i, a) {
+				t.Errorf("value (%d,%d): %v != %v", i, a, back.Value(i, a), tbl.Value(i, a))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	schema := testSchema()
+	cases := []string{
+		"wrong,color,class\n1,red,no\n",      // bad header
+		"x,color,klass\n1,red,no\n",          // bad class header
+		"x,color,class\n1,purple,no\n",       // unknown category
+		"x,color,class\n1,red,maybe\n",       // unknown class
+		"x,color,class\nnotanumber,red,no\n", // bad numeric
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), schema); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTrainTestSplitDeterministic(t *testing.T) {
+	tbl := MustNew(testSchema())
+	for i := 0; i < 100; i++ {
+		tbl.Append([]float64{float64(i), 0}, i%2)
+	}
+	a1, b1 := TrainTestSplit(tbl, 0.7, 42)
+	a2, _ := TrainTestSplit(tbl, 0.7, 42)
+	if a1.NumRecords() != 70 || b1.NumRecords() != 30 {
+		t.Fatalf("split sizes %d/%d", a1.NumRecords(), b1.NumRecords())
+	}
+	for i := 0; i < a1.NumRecords(); i++ {
+		if a1.Value(i, 0) != a2.Value(i, 0) {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+	_, diff := TrainTestSplit(tbl, 0.7, 43)
+	same := true
+	for i := 0; i < b1.NumRecords(); i++ {
+		if b1.Value(i, 0) != diff.Value(i, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical splits")
+	}
+	// Clamping.
+	all, none := TrainTestSplit(tbl, 1.5, 1)
+	if all.NumRecords() != 100 || none.NumRecords() != 0 {
+		t.Error("trainFrac > 1 not clamped")
+	}
+}
+
+func TestShuffleKeepsRecords(t *testing.T) {
+	tbl := MustNew(testSchema())
+	for i := 0; i < 50; i++ {
+		tbl.Append([]float64{float64(i), 0}, 0)
+	}
+	sh := Shuffle(tbl, 5)
+	if sh.NumRecords() != 50 {
+		t.Fatal("shuffle changed size")
+	}
+	seen := make(map[float64]bool)
+	for i := 0; i < 50; i++ {
+		seen[sh.Value(i, 0)] = true
+	}
+	if len(seen) != 50 {
+		t.Error("shuffle lost records")
+	}
+}
+
+func TestStratifiedSplitPreservesProportions(t *testing.T) {
+	tbl := MustNew(testSchema())
+	// Heavily skewed: 900 of class 0, 100 of class 1.
+	for i := 0; i < 1000; i++ {
+		label := 0
+		if i < 100 {
+			label = 1
+		}
+		tbl.Append([]float64{float64(i), 0}, label)
+	}
+	train, test := StratifiedSplit(tbl, 0.8, 7)
+	if train.NumRecords() != 800 || test.NumRecords() != 200 {
+		t.Fatalf("split sizes %d/%d", train.NumRecords(), test.NumRecords())
+	}
+	tc := train.ClassCounts()
+	ec := test.ClassCounts()
+	if tc[1] != 80 || ec[1] != 20 {
+		t.Errorf("rare class split %d/%d, want 80/20", tc[1], ec[1])
+	}
+	// Determinism.
+	train2, _ := StratifiedSplit(tbl, 0.8, 7)
+	for i := 0; i < train.NumRecords(); i++ {
+		if train.Value(i, 0) != train2.Value(i, 0) {
+			t.Fatal("same seed produced different stratified splits")
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package dataset
+
+import "math/rand"
+
+// TrainTestSplit shuffles the table's row order with the given seed and
+// returns two new tables holding approximately trainFrac and 1-trainFrac of
+// the records. trainFrac is clamped to [0,1].
+func TrainTestSplit(t *Table, trainFrac float64, seed int64) (train, test *Table) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	n := t.NumRecords()
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	cut := int(float64(n) * trainFrac)
+	return t.Slice(perm[:cut]), t.Slice(perm[cut:])
+}
+
+// Shuffle returns a new table with rows permuted deterministically by seed.
+func Shuffle(t *Table, seed int64) *Table {
+	return t.Slice(rand.New(rand.NewSource(seed)).Perm(t.NumRecords()))
+}
+
+// StratifiedSplit partitions the table into train and test subsets while
+// preserving each class's proportion in both parts — important for skewed
+// class distributions, where a plain shuffle can starve the test set of the
+// rare class.
+func StratifiedSplit(t *Table, trainFrac float64, seed int64) (train, test *Table) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	byClass := make([][]int, t.Schema().NumClasses())
+	for i := 0; i < t.NumRecords(); i++ {
+		c := t.Label(i)
+		byClass[c] = append(byClass[c], i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var trainIdx, testIdx []int
+	for _, idx := range byClass {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		cut := int(float64(len(idx)) * trainFrac)
+		trainIdx = append(trainIdx, idx[:cut]...)
+		testIdx = append(testIdx, idx[cut:]...)
+	}
+	// Shuffle across classes so the output ordering carries no class signal.
+	rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+	rng.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
+	return t.Slice(trainIdx), t.Slice(testIdx)
+}

@@ -1,0 +1,307 @@
+// Package eval runs the paper's algorithms under one harness and reports
+// uniform measurements: wall-clock time, a deterministic I/O cost model,
+// scan counts, peak memory, tree shape, and accuracy. Every figure and
+// table of the evaluation is regenerated through this package.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"cmpdt/internal/clouds"
+	"cmpdt/internal/core"
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/rainforest"
+	"cmpdt/internal/sliq"
+	"cmpdt/internal/sprint"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/tree"
+	"cmpdt/internal/window"
+)
+
+// Algorithm names accepted by Run.
+const (
+	AlgoCMPS       = "cmp-s"
+	AlgoCMPB       = "cmp-b"
+	AlgoCMP        = "cmp"
+	AlgoSPRINT     = "sprint"
+	AlgoSLIQ       = "sliq"
+	AlgoCLOUDS     = "clouds"
+	AlgoCLOUDSSS   = "clouds-ss"
+	AlgoRainForest = "rainforest"
+	AlgoWindow     = "window"
+)
+
+// Algorithms lists every runnable algorithm in presentation order.
+func Algorithms() []string {
+	return []string{AlgoCMPS, AlgoCMPB, AlgoCMP, AlgoSPRINT, AlgoSLIQ, AlgoCLOUDS, AlgoCLOUDSSS, AlgoRainForest, AlgoWindow}
+}
+
+// Options tunes a run. Zero values select the defaults shared across
+// algorithms so comparisons stay apples-to-apples.
+type Options struct {
+	// Intervals for the discretizing algorithms (CMP family, CLOUDS).
+	Intervals int
+	// MaxAlive intervals per split.
+	MaxAlive int
+	// InMemoryNodeRecords bottoms out subtrees in memory (all algorithms).
+	InMemoryNodeRecords int
+	// RFBufferEntries sizes RainForest's AVC buffer (default 2.5M).
+	RFBufferEntries int
+	// ObliqueAllPairs enables full CMP's all-pairs extension.
+	ObliqueAllPairs bool
+	// Prune applies MDL/PUBLIC(1) pruning (default true via PruneOff=false).
+	PruneOff bool
+	// Seed drives sampling and the CMP root X-axis.
+	Seed int64
+	// MaxDepth caps tree depth (default 32).
+	MaxDepth int
+	// PurityStop, when positive, stops splitting nodes whose majority class
+	// covers at least this fraction of records (applied uniformly to every
+	// algorithm).
+	PurityStop float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Intervals == 0 {
+		o.Intervals = 100
+	}
+	if o.MaxAlive == 0 {
+		o.MaxAlive = 2
+	}
+	if o.InMemoryNodeRecords == 0 {
+		o.InMemoryNodeRecords = 4096
+	}
+	if o.RFBufferEntries == 0 {
+		o.RFBufferEntries = 2_500_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 32
+	}
+	return o
+}
+
+// CostModel converts metered I/O into deterministic "simulated seconds", so
+// the figures' shapes do not depend on the benchmarking machine. Sequential
+// bandwidth dominates decision-tree construction on disk-resident data.
+type CostModel struct {
+	// SeqBytesPerSec is the modelled sequential scan bandwidth.
+	SeqBytesPerSec float64
+}
+
+// DefaultCostModel approximates late-90s sequential disk bandwidth, the
+// regime of the paper's Ultra SPARC 10 testbed.
+var DefaultCostModel = CostModel{SeqBytesPerSec: 8 << 20}
+
+// Seconds converts a byte volume to modelled seconds.
+func (c CostModel) Seconds(bytes int64) float64 {
+	return float64(bytes) / c.SeqBytesPerSec
+}
+
+// RunResult is one measurement row.
+type RunResult struct {
+	Algorithm string
+	N         int
+
+	WallTime time.Duration
+	// SimSeconds is the cost-model time over all metered I/O (dataset scans
+	// plus auxiliary traffic such as SPRINT's attribute lists and the
+	// swapped nid arrays).
+	SimSeconds float64
+
+	Scans        int64
+	BytesRead    int64
+	PagesRead    int64
+	AuxBytesIO   int64 // attribute lists, nid swaps
+	PeakMemBytes int64
+
+	TreeNodes  int
+	TreeLeaves int
+	TreeDepth  int
+	Oblique    int
+
+	TrainAccuracy float64
+	TestAccuracy  float64
+}
+
+// Run trains the named algorithm over src, optionally computing train/test
+// accuracy against the given tables (either may be nil).
+func Run(algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts Options) (*RunResult, *tree.Tree, error) {
+	opts = opts.withDefaults()
+	src.ResetStats()
+	start := time.Now()
+
+	var (
+		t   *tree.Tree
+		aux int64
+		mem int64
+		err error
+	)
+	switch algo {
+	case AlgoCMPS, AlgoCMPB, AlgoCMP:
+		cfg := core.Default(coreAlgo(algo))
+		cfg.Intervals = opts.Intervals
+		cfg.MaxAlive = opts.MaxAlive
+		cfg.InMemoryNodeRecords = opts.InMemoryNodeRecords
+		cfg.ObliqueAllPairs = opts.ObliqueAllPairs
+		cfg.Prune = !opts.PruneOff
+		cfg.Seed = opts.Seed
+		cfg.MaxDepth = opts.MaxDepth
+		cfg.PurityStop = opts.PurityStop
+		var res *core.Result
+		res, err = core.Build(src, cfg)
+		if err == nil {
+			t = res.Tree
+			aux = res.Stats.NidBytesIO
+			mem = res.Stats.PeakMemoryBytes
+			return finish(algo, src, start, t, aux, mem, res.Stats.ObliqueSplits, trainTbl, testTbl), t, nil
+		}
+	case AlgoSPRINT:
+		cfg := sprint.DefaultConfig()
+		cfg.Prune = !opts.PruneOff
+		cfg.MaxDepth = opts.MaxDepth
+		cfg.PurityStop = opts.PurityStop
+		var res *sprint.Result
+		res, err = sprint.Build(src, cfg)
+		if err == nil {
+			t = res.Tree
+			aux = res.Stats.ListBytesIO
+			mem = res.Stats.PeakMemoryBytes
+			return finish(algo, src, start, t, aux, mem, 0, trainTbl, testTbl), t, nil
+		}
+	case AlgoSLIQ:
+		cfg := sliq.DefaultConfig()
+		cfg.Prune = !opts.PruneOff
+		cfg.MaxDepth = opts.MaxDepth
+		cfg.PurityStop = opts.PurityStop
+		var res *sliq.Result
+		res, err = sliq.Build(src, cfg)
+		if err == nil {
+			t = res.Tree
+			aux = res.Stats.ListBytesIO
+			mem = res.Stats.PeakMemoryBytes
+			return finish(algo, src, start, t, aux, mem, 0, trainTbl, testTbl), t, nil
+		}
+	case AlgoCLOUDS, AlgoCLOUDSSS:
+		variant := clouds.SSE
+		if algo == AlgoCLOUDSSS {
+			variant = clouds.SS
+		}
+		cfg := clouds.DefaultConfig(variant)
+		cfg.Intervals = opts.Intervals
+		cfg.MaxAlive = opts.MaxAlive
+		cfg.InMemoryNodeRecords = opts.InMemoryNodeRecords
+		cfg.Prune = !opts.PruneOff
+		cfg.Seed = opts.Seed
+		cfg.MaxDepth = opts.MaxDepth
+		cfg.PurityStop = opts.PurityStop
+		var res *clouds.Result
+		res, err = clouds.Build(src, cfg)
+		if err == nil {
+			t = res.Tree
+			aux = res.Stats.NidBytesIO
+			mem = res.Stats.PeakMemoryBytes
+			return finish(algo, src, start, t, aux, mem, 0, trainTbl, testTbl), t, nil
+		}
+	case AlgoWindow:
+		cfg := window.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.Exact.MaxDepth = opts.MaxDepth
+		cfg.Exact.PurityStop = opts.PurityStop
+		var res *window.Result
+		res, err = window.Build(src, cfg)
+		if err == nil {
+			t = res.Tree
+			mem = int64(res.Stats.FinalWindow) * int64(src.Schema().NumAttrs()+1) * 8
+			return finish(algo, src, start, t, 0, mem, 0, trainTbl, testTbl), t, nil
+		}
+	case AlgoRainForest:
+		cfg := rainforest.DefaultConfig()
+		cfg.BufferEntries = opts.RFBufferEntries
+		cfg.InMemoryNodeRecords = opts.InMemoryNodeRecords
+		cfg.Prune = !opts.PruneOff
+		cfg.MaxDepth = opts.MaxDepth
+		cfg.PurityStop = opts.PurityStop
+		var res *rainforest.Result
+		res, err = rainforest.Build(src, cfg)
+		if err == nil {
+			t = res.Tree
+			aux = res.Stats.NidBytesIO
+			mem = res.Stats.PeakMemoryBytes
+			return finish(algo, src, start, t, aux, mem, 0, trainTbl, testTbl), t, nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("eval: unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+	return nil, nil, err
+}
+
+func coreAlgo(name string) core.Algorithm {
+	switch name {
+	case AlgoCMPB:
+		return core.CMPB
+	case AlgoCMP:
+		return core.CMPFull
+	default:
+		return core.CMPS
+	}
+}
+
+func finish(algo string, src storage.Source, start time.Time, t *tree.Tree, aux, mem int64, oblique int, trainTbl, testTbl *dataset.Table) *RunResult {
+	wall := time.Since(start)
+	io := src.Stats()
+	r := &RunResult{
+		Algorithm:    algo,
+		N:            src.NumRecords(),
+		WallTime:     wall,
+		SimSeconds:   DefaultCostModel.Seconds(io.BytesRead + io.BytesWritten + aux),
+		Scans:        io.Scans,
+		BytesRead:    io.BytesRead,
+		PagesRead:    io.PagesRead,
+		AuxBytesIO:   aux,
+		PeakMemBytes: mem,
+		TreeNodes:    t.Size(),
+		TreeLeaves:   t.Leaves(),
+		TreeDepth:    t.Depth(),
+		Oblique:      oblique,
+	}
+	if trainTbl != nil {
+		r.TrainAccuracy = Accuracy(t, trainTbl)
+	}
+	if testTbl != nil {
+		r.TestAccuracy = Accuracy(t, testTbl)
+	}
+	return r
+}
+
+// Accuracy returns the fraction of tbl's records the tree classifies
+// correctly.
+func Accuracy(t *tree.Tree, tbl *dataset.Table) float64 {
+	n := tbl.NumRecords()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if t.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Confusion returns the confusion matrix counts[actual][predicted].
+func Confusion(t *tree.Tree, tbl *dataset.Table) [][]int {
+	nc := tbl.Schema().NumClasses()
+	m := make([][]int, nc)
+	for i := range m {
+		m[i] = make([]int, nc)
+	}
+	for i := 0; i < tbl.NumRecords(); i++ {
+		m[tbl.Label(i)][t.Predict(tbl.Row(i))]++
+	}
+	return m
+}

@@ -1,0 +1,37 @@
+package eval
+
+import (
+	"testing"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// TestAllAlgorithmsF2 trains every algorithm on the same Function 2 sample
+// and requires high train accuracy and reasonable generalization from all
+// of them — the cross-cutting sanity check for the whole repository.
+func TestAllAlgorithmsF2(t *testing.T) {
+	full := synth.Generate(synth.F2, 12000, 99)
+	train, test := dataset.TrainTestSplit(full, 0.8, 7)
+	opts := Options{Intervals: 40, InMemoryNodeRecords: 512}
+	for _, algo := range Algorithms() {
+		src := storage.NewMem(train)
+		res, tr, err := Run(algo, src, train, test, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if tr == nil {
+			t.Fatalf("%s: nil tree", algo)
+		}
+		t.Logf("%-10s train=%.3f test=%.3f scans=%d leaves=%d depth=%d mem=%dKB aux=%dKB wall=%v",
+			algo, res.TrainAccuracy, res.TestAccuracy, res.Scans, res.TreeLeaves,
+			res.TreeDepth, res.PeakMemBytes/1024, res.AuxBytesIO/1024, res.WallTime)
+		if res.TrainAccuracy < 0.95 {
+			t.Errorf("%s: train accuracy %.3f < 0.95", algo, res.TrainAccuracy)
+		}
+		if res.TestAccuracy < 0.90 {
+			t.Errorf("%s: test accuracy %.3f < 0.90", algo, res.TestAccuracy)
+		}
+	}
+}

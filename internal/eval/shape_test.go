@@ -1,0 +1,28 @@
+package eval
+
+import (
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// TestShapeF2 checks, at a figure-like scale, the relative shape the paper
+// reports: CMP-B needs fewer scans than CMP-S, both need fewer than
+// CLOUDS-SSE, and SPRINT moves far more auxiliary bytes than everyone.
+func TestShapeF2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale run")
+	}
+	tbl := synth.Generate(synth.F2, 100_000, 11)
+	for _, algo := range Algorithms() {
+		src := storage.NewMem(tbl)
+		res, _, err := Run(algo, src, nil, nil, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		t.Logf("%-10s scans=%2d leaves=%3d depth=%2d mem=%6dKB aux=%8dKB sim=%6.1fs wall=%v",
+			algo, res.Scans, res.TreeLeaves, res.TreeDepth, res.PeakMemBytes/1024,
+			res.AuxBytesIO/1024, res.SimSeconds, res.WallTime)
+	}
+}

@@ -1,0 +1,177 @@
+// Package exact implements a straightforward in-memory decision-tree
+// builder that evaluates the gini index at every distinct attribute value —
+// the "exact algorithm" the paper compares CMP's split selection against in
+// Table 1. It is also used by the CMP builders to finish small subtrees in
+// memory once a node's records fit a buffer, the standard practice for
+// disk-oriented tree builders.
+package exact
+
+import (
+	"sort"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/gini"
+	"cmpdt/internal/tree"
+)
+
+// Config controls exact building.
+type Config struct {
+	// MinSplitRecords stops splitting nodes with fewer records.
+	MinSplitRecords int
+	// MaxDepth caps tree depth (in edges below the starting node).
+	MaxDepth int
+	// MinGiniGain is the minimum index improvement a split must deliver.
+	MinGiniGain float64
+	// PurityStop, when positive, stops splitting nodes whose majority class
+	// covers at least this fraction of records.
+	PurityStop float64
+}
+
+// DefaultConfig mirrors the CMP builder's stopping rules.
+func DefaultConfig() Config {
+	return Config{MinSplitRecords: 2, MaxDepth: 32, MinGiniGain: 1e-4}
+}
+
+// Rows is the minimal row container the builder needs; *dataset.Table and
+// the CMP builder's record buffers both satisfy it trivially via adapters.
+type Rows interface {
+	Len() int
+	Row(i int) []float64
+	Label(i int) int
+}
+
+type tableRows struct{ t *dataset.Table }
+
+func (r tableRows) Len() int            { return r.t.NumRecords() }
+func (r tableRows) Row(i int) []float64 { return r.t.Row(i) }
+func (r tableRows) Label(i int) int     { return r.t.Label(i) }
+
+// BuildTable builds an exact tree over an in-memory table.
+func BuildTable(t *dataset.Table, cfg Config) *tree.Tree {
+	root := BuildSubtree(tableRows{t}, t.Schema(), cfg)
+	return &tree.Tree{Root: root, Schema: t.Schema()}
+}
+
+// BuildSubtree builds an exact subtree over the given rows and returns its
+// root node. The rows are copied into scratch index arrays; the container is
+// not modified.
+func BuildSubtree(rows Rows, schema *dataset.Schema, cfg Config) *tree.Node {
+	n := rows.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{rows: rows, schema: schema, cfg: cfg}
+	return b.build(idx, 0)
+}
+
+// BestSplit evaluates every attribute of the rows exactly and returns the
+// best split with its gini index. ok is false when no split partitions the
+// rows. This is the primitive Table 1's "Exact Algo." columns are produced
+// with.
+func BestSplit(rows Rows, schema *dataset.Schema) (tree.Split, float64, bool) {
+	n := rows.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{rows: rows, schema: schema, cfg: DefaultConfig()}
+	return b.bestSplit(idx)
+}
+
+type builder struct {
+	rows   Rows
+	schema *dataset.Schema
+	cfg    Config
+}
+
+func (b *builder) classCounts(idx []int) []int {
+	counts := make([]int, b.schema.NumClasses())
+	for _, i := range idx {
+		counts[b.rows.Label(i)]++
+	}
+	return counts
+}
+
+func (b *builder) build(idx []int, depth int) *tree.Node {
+	node := &tree.Node{}
+	node.SetCounts(b.classCounts(idx))
+	if node.Gini == 0 || node.N < b.cfg.MinSplitRecords || depth >= b.cfg.MaxDepth {
+		return node
+	}
+	if b.cfg.PurityStop > 0 && float64(node.ClassCounts[node.Class]) >= b.cfg.PurityStop*float64(node.N) {
+		return node
+	}
+	split, g, ok := b.bestSplit(idx)
+	if !ok || node.Gini-g < b.cfg.MinGiniGain {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if split.GoesLeft(b.rows.Row(i)) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	node.Split = &split
+	node.Left = b.build(left, depth+1)
+	node.Right = b.build(right, depth+1)
+	return node
+}
+
+// bestSplit scans every attribute for the best exact split of the rows in
+// idx.
+func (b *builder) bestSplit(idx []int) (tree.Split, float64, bool) {
+	var best tree.Split
+	bestG := 2.0
+	found := false
+	total := b.classCounts(idx)
+	zeros := make([]int, len(total))
+
+	vals := make([]float64, len(idx))
+	labels := make([]int, len(idx))
+	order := make([]int, len(idx))
+
+	for a := 0; a < b.schema.NumAttrs(); a++ {
+		attr := &b.schema.Attrs[a]
+		if attr.Kind == dataset.Categorical {
+			counts := make([][]int, attr.Cardinality())
+			for v := range counts {
+				counts[v] = make([]int, len(total))
+			}
+			for _, i := range idx {
+				counts[int(b.rows.Row(i)[a])][b.rows.Label(i)]++
+			}
+			mask, g, ok := gini.BestSubsetSplit(counts)
+			if ok && g < bestG {
+				bestG = g
+				best = tree.Split{Kind: tree.SplitCategorical, Attr: a, Subset: mask}
+				found = true
+			}
+			continue
+		}
+		for j, i := range idx {
+			order[j] = j
+			vals[j] = b.rows.Row(i)[a]
+			labels[j] = b.rows.Label(i)
+		}
+		sort.Slice(order, func(x, y int) bool { return vals[order[x]] < vals[order[y]] })
+		sortedVals := make([]float64, len(idx))
+		sortedLabels := make([]int, len(idx))
+		for j, o := range order {
+			sortedVals[j] = vals[o]
+			sortedLabels[j] = labels[o]
+		}
+		thresh, g, ok := gini.BestSplitSorted(sortedVals, sortedLabels, zeros, total, false)
+		if ok && g < bestG {
+			bestG = g
+			best = tree.Split{Kind: tree.SplitNumeric, Attr: a, Threshold: thresh}
+			found = true
+		}
+	}
+	return best, bestG, found
+}

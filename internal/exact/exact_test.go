@@ -1,0 +1,168 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/gini"
+	"cmpdt/internal/synth"
+	"cmpdt/internal/tree"
+)
+
+func separableTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Numeric},
+			{Name: "noise", Kind: dataset.Numeric},
+		},
+		Classes: []string{"lo", "hi"},
+	}
+	tbl := dataset.MustNew(schema)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		label := 0
+		if x > 50 {
+			label = 1
+		}
+		tbl.Append([]float64{x, rng.Float64()}, label)
+	}
+	return tbl
+}
+
+func TestBuildSeparable(t *testing.T) {
+	tbl := separableTable(t, 500)
+	tr := BuildTable(tbl, DefaultConfig())
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if tr.Predict(tbl.Row(i)) != tbl.Label(i) {
+			t.Fatalf("record %d misclassified", i)
+		}
+	}
+	if tr.Depth() != 1 {
+		t.Errorf("separable data needs depth 1, got %d", tr.Depth())
+	}
+	sp := tr.Root.Split
+	if sp.Attr != 0 || math.Abs(sp.Threshold-50) > 2 {
+		t.Errorf("split %v, want x near 50", sp.Describe(tbl.Schema()))
+	}
+}
+
+func TestBuildRespectsStoppingRules(t *testing.T) {
+	tbl := separableTable(t, 500)
+	if tr := BuildTable(tbl, Config{MinSplitRecords: 2, MaxDepth: 0, MinGiniGain: 1e-4}); tr.Depth() != 0 {
+		t.Error("MaxDepth 0 violated")
+	}
+	if tr := BuildTable(tbl, Config{MinSplitRecords: 1000, MaxDepth: 10, MinGiniGain: 1e-4}); tr.Depth() != 0 {
+		t.Error("MinSplitRecords violated")
+	}
+	// Purity stop: data 99% one class with a separable 1%.
+	schema := tbl.Schema()
+	nearly := dataset.MustNew(schema)
+	for i := 0; i < 1000; i++ {
+		label := 0
+		if i < 5 {
+			label = 1
+		}
+		nearly.Append([]float64{float64(i), 0}, label)
+	}
+	cfg := DefaultConfig()
+	cfg.PurityStop = 0.99
+	if tr := BuildSubtree(tableRows{nearly}, schema, cfg); !tr.IsLeaf() {
+		t.Error("purity stop violated")
+	}
+}
+
+func TestBuildCategorical(t *testing.T) {
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "c", Kind: dataset.Categorical, Values: []string{"a", "b", "c", "d"}},
+		},
+		Classes: []string{"no", "yes"},
+	}
+	tbl := dataset.MustNew(schema)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		v := rng.Intn(4)
+		label := 0
+		if v == 1 || v == 3 {
+			label = 1
+		}
+		tbl.Append([]float64{float64(v)}, label)
+	}
+	tr := BuildTable(tbl, DefaultConfig())
+	if tr.Depth() != 1 || tr.Root.Split.Kind != tree.SplitCategorical {
+		t.Fatalf("want one categorical split, got depth %d", tr.Depth())
+	}
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if tr.Predict(tbl.Row(i)) != tbl.Label(i) {
+			t.Fatal("categorical tree misclassifies")
+		}
+	}
+}
+
+// TestBestSplitOptimalProperty cross-checks BestSplit against a brute-force
+// scan over every threshold of every attribute on small random tables.
+func TestBestSplitOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Numeric},
+			{Name: "y", Kind: dataset.Numeric},
+		},
+		Classes: []string{"a", "b"},
+	}
+	for iter := 0; iter < 50; iter++ {
+		tbl := dataset.MustNew(schema)
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			tbl.Append([]float64{float64(rng.Intn(8)), float64(rng.Intn(8))}, rng.Intn(2))
+		}
+		_, got, ok := BestSplit(tableRows{tbl}, schema)
+		best := 2.0
+		for a := 0; a < 2; a++ {
+			for th := 0.5; th < 8; th++ {
+				left := make([]int, 2)
+				right := make([]int, 2)
+				for i := 0; i < n; i++ {
+					if tbl.Value(i, a) <= th {
+						left[tbl.Label(i)]++
+					} else {
+						right[tbl.Label(i)]++
+					}
+				}
+				if l, r := left[0]+left[1], right[0]+right[1]; l == 0 || r == 0 {
+					continue
+				}
+				if g := gini.Split(left, right); g < best {
+					best = g
+				}
+			}
+		}
+		if !ok {
+			if best < 2.0 {
+				t.Fatalf("BestSplit found nothing but brute force found %v", best)
+			}
+			continue
+		}
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("BestSplit gini %v, brute force %v", got, best)
+		}
+	}
+}
+
+func TestBuildMatchesLabelsOnAgrawal(t *testing.T) {
+	tbl := synth.Generate(synth.F3, 3000, 4)
+	tr := BuildTable(tbl, DefaultConfig())
+	correct := 0
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if tr.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 3000; acc < 0.99 {
+		t.Errorf("exact builder accuracy %.3f on F3", acc)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/eval"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// AccuracyRow is one algorithm's held-out accuracy on one workload — the
+// cross-cutting check behind the paper's "as accurate as SPRINT" claim and
+// its introduction's warning that sampling-based approximations (C4.5
+// windowing) lose accuracy relative to algorithms that use every record.
+type AccuracyRow struct {
+	Workload  string
+	Algorithm string
+	N         int
+	Noise     float64
+	TrainAcc  float64
+	TestAcc   float64
+	Leaves    int
+}
+
+// Accuracy trains every algorithm on noisy Agrawal workloads and evaluates
+// on clean held-out data.
+func (o Opts) Accuracy() ([]AccuracyRow, error) {
+	var rows []AccuracyRow
+	for _, fn := range []synth.Func{synth.F2, synth.F7} {
+		const noise = 0.05
+		train := dataset.MustNew(synth.Schema())
+		if err := synth.GenerateTo(train, fn, o.N, o.Seed, synth.Options{Noise: noise}); err != nil {
+			return nil, err
+		}
+		test := synth.Generate(fn, o.N/4, o.Seed+1000)
+		for _, algo := range eval.Algorithms() {
+			res, _, err := eval.Run(algo, storage.NewMem(train), train, test, o.evalOptions())
+			if err != nil {
+				return nil, fmt.Errorf("accuracy: %s on %s: %w", algo, fn, err)
+			}
+			rows = append(rows, AccuracyRow{
+				Workload:  fn.String(),
+				Algorithm: algo,
+				N:         o.N,
+				Noise:     noise,
+				TrainAcc:  res.TrainAccuracy,
+				TestAcc:   res.TestAccuracy,
+				Leaves:    res.TreeLeaves,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintAccuracy renders accuracy rows as an aligned table.
+func PrintAccuracy(w io.Writer, rows []AccuracyRow) {
+	fmt.Fprintf(w, "%-11s %-11s %9s %6s %8s %8s %7s\n",
+		"workload", "algorithm", "records", "noise", "train", "test", "leaves")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-11s %9d %6.2f %8.4f %8.4f %7d\n",
+			r.Workload, r.Algorithm, r.N, r.Noise, r.TrainAcc, r.TestAcc, r.Leaves)
+	}
+}

@@ -1,0 +1,99 @@
+package gini
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func BenchmarkIndex(b *testing.B) {
+	counts := []int{1234, 5678, 910, 1112}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Index(counts)
+	}
+}
+
+func BenchmarkSplitBelow(b *testing.B) {
+	below := []int{120, 340}
+	total := []int{500, 800}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SplitBelow(below, total)
+	}
+}
+
+func BenchmarkEstimateInterval(b *testing.B) {
+	for _, nc := range []int{2, 7, 26} {
+		b.Run(benchName("classes", nc), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := make([]int, nc)
+			y := make([]int, nc)
+			total := make([]int, nc)
+			for c := 0; c < nc; c++ {
+				x[c] = rng.Intn(1000)
+				y[c] = x[c] + rng.Intn(100)
+				total[c] = y[c] + rng.Intn(1000)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				EstimateInterval(x, y, total)
+			}
+		})
+	}
+}
+
+func BenchmarkBestSplitSorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 10_000
+	vals := make([]float64, n)
+	labels := make([]int, n)
+	total := make([]int, 2)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+		labels[i] = rng.Intn(2)
+		total[labels[i]]++
+	}
+	sort.Float64s(vals)
+	zeros := []int{0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestSplitSorted(vals, labels, zeros, total, false)
+	}
+}
+
+func BenchmarkBestSubsetSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, card := range []int{8, 20} {
+		counts := make([][]int, card)
+		for v := range counts {
+			counts[v] = []int{rng.Intn(500), rng.Intn(500)}
+		}
+		b.Run(benchName("card", card), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BestSubsetSplit(counts)
+			}
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,145 @@
+package gini
+
+// MaxSubsetCardinality bounds categorical domains: subsets are represented
+// as uint64 bitmasks.
+const MaxSubsetCardinality = 64
+
+// exhaustiveSubsetLimit is the largest cardinality for which every subset is
+// tried; beyond it a SPRINT-style greedy search is used.
+const exhaustiveSubsetLimit = 14
+
+// BestSubsetSplit finds a subset S of category values minimizing
+// gini^D(  value in S  vs  value not in S  ). counts[v] is the per-class
+// histogram of records with category value v. Small domains are searched
+// exhaustively; larger ones greedily (grow S by the single value that most
+// reduces the index, keeping the best partition seen — the heuristic SPRINT
+// uses for large categorical domains).
+//
+// ok is false when no non-trivial split exists (fewer than two occupied
+// values, or cardinality exceeds MaxSubsetCardinality).
+func BestSubsetSplit(counts [][]int) (mask uint64, best float64, ok bool) {
+	v := len(counts)
+	if v < 2 || v > MaxSubsetCardinality {
+		return 0, 0, false
+	}
+	nc := len(counts[0])
+	total := make([]int, nc)
+	occupied := 0
+	for _, h := range counts {
+		nz := false
+		for c, n := range h {
+			total[c] += n
+			if n > 0 {
+				nz = true
+			}
+		}
+		if nz {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		return 0, 0, false
+	}
+
+	if v <= exhaustiveSubsetLimit {
+		return exhaustiveSubset(counts, total)
+	}
+	return greedySubset(counts, total)
+}
+
+func exhaustiveSubset(counts [][]int, total []int) (mask uint64, best float64, ok bool) {
+	v := len(counts)
+	nc := len(total)
+	left := make([]int, nc)
+	best = 2.0
+	// Fix value 0's side to halve the search space; complements are equal.
+	for m := uint64(1); m < 1<<uint(v-1); m++ {
+		for c := range left {
+			left[c] = 0
+		}
+		empty := true
+		for val := 1; val < v; val++ {
+			if m&(1<<uint(val-1)) == 0 {
+				continue
+			}
+			for c, n := range counts[val] {
+				left[c] += n
+				if n > 0 {
+					empty = false
+				}
+			}
+		}
+		if empty {
+			continue
+		}
+		full := true
+		for c := range left {
+			if left[c] != total[c] {
+				full = false
+				break
+			}
+		}
+		if full {
+			continue
+		}
+		if g := SplitBelow(left, total); g < best {
+			best = g
+			mask = m << 1 // shift back: bit val-1 represented value val
+			ok = true
+		}
+	}
+	return mask, best, ok
+}
+
+func greedySubset(counts [][]int, total []int) (mask uint64, best float64, ok bool) {
+	v := len(counts)
+	nc := len(total)
+	left := make([]int, nc)
+	cur := uint64(0)
+	best = 2.0
+	for round := 0; round < v-1; round++ {
+		pickVal := -1
+		pickG := 2.0
+		for val := 0; val < v; val++ {
+			if cur&(1<<uint(val)) != 0 {
+				continue
+			}
+			nz := false
+			for c, n := range counts[val] {
+				left[c] += n
+				if n > 0 {
+					nz = true
+				}
+			}
+			if nz {
+				// Skip the degenerate all-records-left partition.
+				full := true
+				for c := range left {
+					if left[c] != total[c] {
+						full = false
+						break
+					}
+				}
+				if !full {
+					if g := SplitBelow(left, total); g < pickG {
+						pickG, pickVal = g, val
+					}
+				}
+			}
+			for c, n := range counts[val] {
+				left[c] -= n
+			}
+		}
+		if pickVal == -1 {
+			break
+		}
+		cur |= 1 << uint(pickVal)
+		for c, n := range counts[pickVal] {
+			left[c] += n
+		}
+		if pickG < best {
+			best, mask, ok = pickG, cur, true
+		}
+	}
+	return mask, best, ok
+}

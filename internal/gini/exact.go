@@ -1,0 +1,42 @@
+package gini
+
+// BestSplitSorted finds the exact best threshold among records sorted
+// ascending by attribute value. vals and labels run in parallel. leftCum
+// holds per-class counts of the node's records whose values precede every
+// value in vals (the "context" to the left — zero for a whole-node search),
+// and total the node's per-class totals. Candidate splits lie between
+// adjacent distinct values; the returned threshold is their midpoint, so
+// records with value <= thresh go to the low side. A split after the final
+// value is considered only when rightOpen is true (records with larger
+// values exist beyond this range).
+//
+// ok is false when no candidate position exists (all values equal and the
+// range is not right-open, or vals is empty).
+func BestSplitSorted(vals []float64, labels []int, leftCum, total []int, rightOpen bool) (thresh, best float64, ok bool) {
+	cum := append([]int(nil), leftCum...)
+	best = 2.0
+	for i := 0; i < len(vals); i++ {
+		cum[labels[i]]++
+		atEnd := i == len(vals)-1
+		if !atEnd && vals[i+1] == vals[i] {
+			continue
+		}
+		if atEnd && !rightOpen {
+			break
+		}
+		g := SplitBelow(cum, total)
+		if g < best {
+			best = g
+			if atEnd {
+				thresh = vals[i]
+			} else {
+				thresh = vals[i] + (vals[i+1]-vals[i])/2
+			}
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return thresh, best, true
+}

@@ -1,0 +1,207 @@
+package gini
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteBestSplit tries every prefix split of the sorted values.
+func bruteBestSplit(vals []float64, labels []int, leftCum, total []int, rightOpen bool) (float64, float64, bool) {
+	bestG := 2.0
+	bestTh := 0.0
+	found := false
+	cum := append([]int(nil), leftCum...)
+	n := 0
+	for _, c := range total {
+		n += c
+	}
+	for i := 0; i < len(vals); i++ {
+		cum[labels[i]]++
+		if i+1 < len(vals) && vals[i+1] == vals[i] {
+			continue
+		}
+		if i == len(vals)-1 && !rightOpen {
+			break
+		}
+		cn := 0
+		for _, c := range cum {
+			cn += c
+		}
+		if cn == 0 || cn == n {
+			// Degenerate but BestSplitSorted may still report it; it is a
+			// valid split position as long as both sides are non-empty in
+			// the wider node, which leftCum/rightOpen control.
+		}
+		g := SplitBelow(cum, total)
+		if g < bestG {
+			bestG = g
+			if i == len(vals)-1 {
+				bestTh = vals[i]
+			} else {
+				bestTh = vals[i] + (vals[i+1]-vals[i])/2
+			}
+			found = true
+		}
+	}
+	return bestTh, bestG, found
+}
+
+func TestBestSplitSortedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(30)
+		vals := make([]float64, n)
+		labels := make([]int, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(10)) // duplicates likely
+			labels[i] = rng.Intn(3)
+		}
+		sort.Float64s(vals)
+		total := make([]int, 3)
+		leftCum := make([]int, 3)
+		for c := 0; c < 3; c++ {
+			leftCum[c] = rng.Intn(5)
+			total[c] = leftCum[c] + rng.Intn(5)
+		}
+		for _, l := range labels {
+			total[l]++
+		}
+		rightOpen := rng.Intn(2) == 0
+
+		th, g, ok := BestSplitSorted(vals, labels, leftCum, total, rightOpen)
+		bth, bg, bok := bruteBestSplit(vals, labels, leftCum, total, rightOpen)
+		if ok != bok {
+			t.Fatalf("ok=%v brute=%v (vals=%v labels=%v)", ok, bok, vals, labels)
+		}
+		if !ok {
+			continue
+		}
+		if math.Abs(g-bg) > 1e-12 || math.Abs(th-bth) > 1e-12 {
+			t.Fatalf("got (%v,%v) brute (%v,%v)", th, g, bth, bg)
+		}
+	}
+}
+
+func TestBestSplitSortedEmptyAndConstant(t *testing.T) {
+	total := []int{3, 3}
+	if _, _, ok := BestSplitSorted(nil, nil, []int{0, 0}, total, false); ok {
+		t.Error("expected no split for empty input")
+	}
+	vals := []float64{5, 5, 5}
+	labels := []int{0, 1, 0}
+	if _, _, ok := BestSplitSorted(vals, labels, []int{0, 0}, total, false); ok {
+		t.Error("expected no split for constant values with closed right")
+	}
+	// With an open right side, splitting after the constant run is valid.
+	if th, _, ok := BestSplitSorted(vals, labels, []int{0, 0}, total, true); !ok || th != 5 {
+		t.Errorf("open-right constant: got th=%v ok=%v, want 5 true", th, ok)
+	}
+}
+
+func bruteBestSubset(counts [][]int) (uint64, float64, bool) {
+	v := len(counts)
+	nc := len(counts[0])
+	total := make([]int, nc)
+	for _, h := range counts {
+		for c, n := range h {
+			total[c] += n
+		}
+	}
+	bestG := 2.0
+	var bestMask uint64
+	found := false
+	for m := uint64(1); m < 1<<uint(v); m++ {
+		left := make([]int, nc)
+		ln := 0
+		for val := 0; val < v; val++ {
+			if m&(1<<uint(val)) != 0 {
+				for c, n := range counts[val] {
+					left[c] += n
+					ln += n
+				}
+			}
+		}
+		tn := 0
+		for _, c := range total {
+			tn += c
+		}
+		if ln == 0 || ln == tn {
+			continue
+		}
+		if g := SplitBelow(left, total); g < bestG {
+			bestG, bestMask, found = g, m, true
+		}
+	}
+	return bestMask, bestG, found
+}
+
+func TestBestSubsetSplitExhaustiveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		v := 2 + rng.Intn(6)
+		counts := make([][]int, v)
+		for i := range counts {
+			counts[i] = []int{rng.Intn(8), rng.Intn(8)}
+		}
+		mask, g, ok := BestSubsetSplit(counts)
+		bMask, bg, bok := bruteBestSubset(counts)
+		_ = bMask
+		if ok != bok {
+			t.Fatalf("ok=%v brute=%v counts=%v", ok, bok, counts)
+		}
+		if !ok {
+			continue
+		}
+		if math.Abs(g-bg) > 1e-12 {
+			t.Fatalf("gini %v, brute %v (counts=%v mask=%b bruteMask=%b)", g, bg, counts, mask, bMask)
+		}
+	}
+}
+
+func TestBestSubsetSplitGreedyLargeDomain(t *testing.T) {
+	// 20 values; greedy path. Value parity decides the class, so the
+	// optimal subset is all-even (or all-odd) and greedy should find a
+	// perfect split.
+	counts := make([][]int, 20)
+	for v := range counts {
+		if v%2 == 0 {
+			counts[v] = []int{10, 0}
+		} else {
+			counts[v] = []int{0, 10}
+		}
+	}
+	mask, g, ok := BestSubsetSplit(counts)
+	if !ok {
+		t.Fatal("no split found")
+	}
+	if g > 1e-12 {
+		t.Errorf("greedy gini = %v, want 0", g)
+	}
+	// The subset must be exactly one parity class.
+	evens := uint64(0)
+	for v := 0; v < 20; v += 2 {
+		evens |= 1 << uint(v)
+	}
+	odds := evens << 1
+	if mask != evens && mask != odds {
+		t.Errorf("mask %b is not a parity class", mask)
+	}
+}
+
+func TestBestSubsetSplitDegenerate(t *testing.T) {
+	if _, _, ok := BestSubsetSplit([][]int{{1, 2}}); ok {
+		t.Error("single value should not split")
+	}
+	if _, _, ok := BestSubsetSplit([][]int{{1, 2}, {0, 0}}); ok {
+		t.Error("one occupied value should not split")
+	}
+	big := make([][]int, 65)
+	for i := range big {
+		big[i] = []int{1, 1}
+	}
+	if _, _, ok := BestSubsetSplit(big); ok {
+		t.Error("cardinality beyond 64 should be rejected")
+	}
+}

@@ -1,0 +1,210 @@
+package gini
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{[]int{0, 0}, 0},
+		{[]int{10, 0}, 0},
+		{[]int{0, 10}, 0},
+		{[]int{5, 5}, 0.5},
+		{[]int{1, 1, 1, 1}, 0.75},
+		{[]int{3, 1}, 1 - (0.75*0.75 + 0.25*0.25)},
+	}
+	for _, c := range cases {
+		if got := Index(c.counts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Index(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestIndexBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		g := Index(counts)
+		// 0 <= gini < 1, and bounded by 1 - 1/c for c classes.
+		c := float64(len(counts))
+		return g >= 0 && g <= 1-1/c+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexMaximalWhenUniform(t *testing.T) {
+	for c := 2; c <= 8; c++ {
+		counts := make([]int, c)
+		for i := range counts {
+			counts[i] = 7
+		}
+		want := 1 - 1/float64(c)
+		if got := Index(counts); math.Abs(got-want) > 1e-12 {
+			t.Errorf("uniform %d classes: Index = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestSplitWeightedAverage(t *testing.T) {
+	left := []int{10, 0}
+	right := []int{0, 30}
+	// Perfect separation: split index 0.
+	if g := Split(left, right); g != 0 {
+		t.Errorf("perfect split = %v, want 0", g)
+	}
+	// A split into identical distributions equals the parent's index.
+	a := []int{6, 2}
+	parent := Index([]int{12, 4})
+	if g := Split(a, a); math.Abs(g-parent) > 1e-12 {
+		t.Errorf("identical-halves split = %v, want parent %v", g, parent)
+	}
+}
+
+func TestSplitNeverAboveParentProperty(t *testing.T) {
+	// gini^D of any binary partition never exceeds the parent's index
+	// (gini is concave), and never drops below 0.
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		nc := 2 + rng.Intn(4)
+		left := make([]int, nc)
+		right := make([]int, nc)
+		parent := make([]int, nc)
+		for c := 0; c < nc; c++ {
+			left[c] = rng.Intn(50)
+			right[c] = rng.Intn(50)
+			parent[c] = left[c] + right[c]
+		}
+		g := Split(left, right)
+		pg := Index(parent)
+		if g < -1e-12 || g > pg+1e-12 {
+			t.Fatalf("Split(%v,%v) = %v outside [0, parent %v]", left, right, g, pg)
+		}
+	}
+}
+
+func TestSplitBelowMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 500; iter++ {
+		nc := 2 + rng.Intn(4)
+		below := make([]int, nc)
+		total := make([]int, nc)
+		above := make([]int, nc)
+		for c := 0; c < nc; c++ {
+			below[c] = rng.Intn(30)
+			above[c] = rng.Intn(30)
+			total[c] = below[c] + above[c]
+		}
+		want := Split(below, above)
+		got := SplitBelow(below, total)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("SplitBelow(%v,%v) = %v, want %v", below, total, got, want)
+		}
+	}
+}
+
+// TestGradientMatchesFiniteDifference checks Eq. 4 against the actual change
+// in gini^D when one record of a class moves below the split.
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		nc := 2 + rng.Intn(3)
+		x := make([]int, nc)
+		total := make([]int, nc)
+		for c := 0; c < nc; c++ {
+			x[c] = 1 + rng.Intn(20)
+			total[c] = x[c] + 1 + rng.Intn(20)
+		}
+		for class := 0; class < nc; class++ {
+			g0 := SplitBelow(x, total)
+			x[class]++
+			g1 := SplitBelow(x, total)
+			x[class]--
+			grad := Gradient(x, total, class)
+			// The analytic gradient should track the discrete step within a
+			// loose tolerance (it is a derivative, the step is size 1).
+			if math.Abs(grad-(g1-g0)) > 0.05 {
+				t.Fatalf("gradient %v vs finite difference %v (x=%v total=%v class=%d)",
+					grad, g1-g0, x, total, class)
+			}
+		}
+	}
+}
+
+func TestEstimateIntervalBoundedByBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		nc := 2 + rng.Intn(3)
+		x := make([]int, nc)
+		y := make([]int, nc)
+		total := make([]int, nc)
+		for c := 0; c < nc; c++ {
+			x[c] = rng.Intn(20)
+			inside := rng.Intn(15)
+			y[c] = x[c] + inside
+			total[c] = y[c] + rng.Intn(20)
+		}
+		est := EstimateInterval(x, y, total)
+		// Eq. 5 takes the min over both boundaries, so Est can never exceed
+		// either of them, and gini values stay in [0, 1).
+		if est.Est > est.BoundaryLeft+1e-12 || est.Est > est.BoundaryRight+1e-12 {
+			t.Fatalf("Est %v exceeds boundaries (%v, %v)", est.Est, est.BoundaryLeft, est.BoundaryRight)
+		}
+		if est.Est < -1e-12 || est.Est > 1 {
+			t.Fatalf("Est %v out of range", est.Est)
+		}
+	}
+}
+
+// TestEstimateIntervalIsLowerBound verifies the estimate against the true
+// minimum over every arrangement the histogram permits: for every split
+// position that assigns some of each class's interval records below, the
+// hill-climbing estimate must not exceed the best achievable gini when
+// records are ordered adversarially. We brute-force small cases.
+func TestEstimateIntervalIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		x := []int{rng.Intn(6), rng.Intn(6)}
+		inside := []int{rng.Intn(5), rng.Intn(5)}
+		if inside[0]+inside[1] == 0 {
+			continue
+		}
+		y := []int{x[0] + inside[0], x[1] + inside[1]}
+		total := []int{y[0] + rng.Intn(6), y[1] + rng.Intn(6)}
+
+		est := EstimateInterval(x, y, total)
+
+		// Enumerate every achievable cumulative (a, b) with 0<=a<=inside0,
+		// 0<=b<=inside1: each corresponds to some ordering and split point.
+		trueMin := math.Min(est.BoundaryLeft, est.BoundaryRight)
+		for a := 0; a <= inside[0]; a++ {
+			for bb := 0; bb <= inside[1]; bb++ {
+				cum := []int{x[0] + a, x[1] + bb}
+				if g := SplitBelow(cum, total); g < trueMin {
+					trueMin = g
+				}
+			}
+		}
+		if est.Est < trueMin-1e-9 {
+			// Good: est is allowed to be below the true minimum (it is a
+			// lower bound)...
+			continue
+		}
+		if est.Est > trueMin+1e-9 {
+			t.Fatalf("estimate %v above true achievable minimum %v (x=%v y=%v total=%v)",
+				est.Est, trueMin, x, y, total)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHist1DAdd(b *testing.B) {
+	h := New1D(100, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(i%100, i%2)
+	}
+}
+
+func BenchmarkMatrixAdd(b *testing.B) {
+	m := NewMatrix(100, 100, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Add(i%100, (i/7)%100, i%2)
+	}
+}
+
+func BenchmarkMatrixMarginals(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(100, 100, 2)
+	for i := 0; i < 100_000; i++ {
+		m.Add(rng.Intn(100), rng.Intn(100), rng.Intn(2))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MarginalX()
+		m.MarginalY()
+	}
+}
+
+func BenchmarkMatrixSliceX(b *testing.B) {
+	m := NewMatrix(100, 100, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.SliceX(20, 80)
+	}
+}
+
+func BenchmarkCumulative(b *testing.B) {
+	h := New1D(120, 2)
+	for k := 0; k < 120; k++ {
+		h.AddN(k, k%2, k+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Cumulative()
+	}
+}

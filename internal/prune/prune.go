@@ -1,0 +1,174 @@
+// Package prune implements MDL-based decision-tree pruning in the style of
+// PUBLIC (Rastogi & Shim, VLDB 1998), which the paper uses: pruning is
+// applied *during* tree building, once per construction round, using a lower
+// bound on the cost of any subtree that could still be grown under a
+// not-yet-expanded node. The bound generalizes the paper's PUBLIC(1) to
+// PUBLIC(S): it minimizes the encodable cost over subtrees with any number
+// of splits up to classes-1, which with two classes reduces to PUBLIC(1).
+//
+// Encoding costs follow the usual MDL scheme: a node costs one bit to mark
+// leaf/internal; a leaf additionally encodes its class label and its
+// misclassified records (log2(classes) bits each); an internal node encodes
+// which attribute it tests and the test's value.
+package prune
+
+import (
+	"math"
+	"sort"
+
+	"cmpdt/internal/tree"
+)
+
+// Result reports what a pruning pass changed.
+type Result struct {
+	// Collapsed holds resolved internal nodes that were converted to leaves
+	// (their subtrees were removed).
+	Collapsed map[*tree.Node]bool
+	// Finalized holds expandable frontier nodes that the PUBLIC(1) bound
+	// proved should remain leaves: no subtree can beat their leaf cost.
+	Finalized map[*tree.Node]bool
+	// Cost is the MDL cost of the pruned tree (with expandable nodes charged
+	// their optimistic lower bound).
+	Cost float64
+}
+
+// PUBLIC1 prunes t in place. expandable marks frontier nodes the builder
+// could still split; they are charged min(leaf cost, one-split lower bound)
+// and are finalized as permanent leaves when the leaf cost is no worse than
+// the bound. Pass nil when building is finished (pure post-pruning).
+func PUBLIC1(t *tree.Tree, expandable map[*tree.Node]bool) Result {
+	res := Result{
+		Collapsed: make(map[*tree.Node]bool),
+		Finalized: make(map[*tree.Node]bool),
+	}
+	numAttrs := t.Schema.NumAttrs()
+	numClasses := t.Schema.NumClasses()
+	res.Cost = pruneNode(t.Root, numAttrs, numClasses, expandable, &res)
+	return res
+}
+
+func pruneNode(n *tree.Node, numAttrs, numClasses int, expandable map[*tree.Node]bool, res *Result) float64 {
+	if n == nil {
+		return 0
+	}
+	lc := leafCost(n, numClasses)
+	if n.IsLeaf() {
+		if expandable != nil && expandable[n] {
+			bound := subtreeLowerBound(n, numAttrs, numClasses)
+			if lc <= bound {
+				res.Finalized[n] = true
+				return lc
+			}
+			return bound
+		}
+		return lc
+	}
+	sub := 1 + splitCost(n, numAttrs) +
+		pruneNode(n.Left, numAttrs, numClasses, expandable, res) +
+		pruneNode(n.Right, numAttrs, numClasses, expandable, res)
+	if lc <= sub {
+		collapse(n, res)
+		return lc
+	}
+	return sub
+}
+
+// collapse converts an internal node to a leaf and records every removed
+// internal node so builders can drop pending work under it.
+func collapse(n *tree.Node, res *Result) {
+	var mark func(*tree.Node)
+	mark = func(m *tree.Node) {
+		if m == nil {
+			return
+		}
+		res.Collapsed[m] = true
+		mark(m.Left)
+		mark(m.Right)
+	}
+	mark(n.Left)
+	mark(n.Right)
+	res.Collapsed[n] = true
+	n.Split = nil
+	n.Left, n.Right = nil, nil
+}
+
+// leafCost is 1 bit for the node type, log2(c) to name the class, and
+// log2(c) per misclassified record.
+func leafCost(n *tree.Node, numClasses int) float64 {
+	lc := math.Log2(float64(numClasses))
+	return 1 + lc + float64(n.Errors())*lc
+}
+
+// splitCost encodes the test: the attribute choice plus its value. Numeric
+// thresholds are charged log2(N) bits (one of up to N candidate positions);
+// categorical subsets one bit per category value; linear splits the
+// attribute pair plus two numeric values.
+func splitCost(n *tree.Node, numAttrs int) float64 {
+	attrBits := math.Log2(float64(numAttrs))
+	valueBits := math.Log2(math.Max(float64(n.N), 2))
+	switch n.Split.Kind {
+	case tree.SplitCategorical:
+		card := bitsUpTo(n.Split.Subset)
+		return attrBits + float64(card)
+	case tree.SplitLinear:
+		return 2*attrBits + 2*valueBits
+	default:
+		return attrBits + valueBits
+	}
+}
+
+// bitsUpTo returns the position of the highest set bit plus one, i.e. the
+// number of category values the subset mask spans.
+func bitsUpTo(mask uint64) int {
+	b := 0
+	for mask != 0 {
+		b++
+		mask >>= 1
+	}
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// subtreeLowerBound is the PUBLIC(S) bound, generalized from the paper's
+// PUBLIC(1): a subtree with s splits has s internal nodes (one bit and an
+// attribute choice each) and s+1 leaves (one bit and a label each), and at
+// best its leaves absorb the s+1 largest classes — every record outside
+// them is an error. The bound minimizes over s = 1..numClasses-1 (beyond
+// that, extra splits cannot reduce the error term). With two classes this
+// reduces exactly to PUBLIC(1).
+func subtreeLowerBound(n *tree.Node, numAttrs, numClasses int) float64 {
+	lc := math.Log2(float64(numClasses))
+	attrBits := math.Log2(float64(numAttrs))
+
+	counts := append([]int(nil), n.ClassCounts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+
+	prefix := make([]int, len(counts)+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + c
+	}
+	best := math.Inf(1)
+	maxSplits := numClasses - 1
+	if maxSplits < 1 {
+		maxSplits = 1
+	}
+	for s := 1; s <= maxSplits; s++ {
+		leaves := s + 1
+		if leaves > len(counts) {
+			leaves = len(counts)
+		}
+		minErrs := n.N - prefix[leaves]
+		if minErrs < 0 {
+			minErrs = 0
+		}
+		cost := float64(s)*(1+attrBits) + // internal nodes + attribute choices
+			float64(s+1)*(1+lc) + // leaves with labels
+			float64(minErrs)*lc
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}

@@ -1,0 +1,66 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEqualDepth(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 50_000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EqualDepth(vals, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterval(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 10_000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	d, err := EqualDepth(vals, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Interval(vals[i%len(vals)])
+	}
+}
+
+func BenchmarkGKAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := NewGK(0.005)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	parent, _ := EqualWidth(0, 1000, 100)
+	counts := make([]int, 100)
+	for i := range counts {
+		counts[i] = 500 + i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Derive(parent, counts, 100, 900, 80, 0, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

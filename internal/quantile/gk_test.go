@@ -1,0 +1,114 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGKQuantileAccuracy(t *testing.T) {
+	const n = 50_000
+	const eps = 0.005
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewGK(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+		s.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Query(phi)
+		// True rank of the answer must be within eps*n of phi*n.
+		rank := sort.SearchFloat64s(vals, got)
+		target := phi * n
+		if math.Abs(float64(rank)-target) > 2*eps*n+2 {
+			t.Errorf("Query(%v) = %v at rank %d, want rank near %.0f", phi, got, rank, target)
+		}
+	}
+	if s.Min() != vals[0] || s.Max() != vals[n-1] {
+		t.Errorf("extremes %v/%v, want %v/%v", s.Min(), s.Max(), vals[0], vals[n-1])
+	}
+}
+
+func TestGKMemoryBounded(t *testing.T) {
+	s, _ := NewGK(0.01)
+	for i := 0; i < 200_000; i++ {
+		s.Add(float64(i % 977)) // cyclic to exercise inserts everywhere
+	}
+	// The GK bound is O(log(eps*n)/eps) tuples; allow a lazy-compression
+	// constant. The point: nowhere near n.
+	if s.Size() > 4000 {
+		t.Errorf("sketch holds %d tuples for 200k values at eps=0.01", s.Size())
+	}
+	if s.Count() != 200_000 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestGKSortedAndReverseStreams(t *testing.T) {
+	for name, gen := range map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(10_000 - i) },
+		"constant":   func(i int) float64 { return 42 },
+	} {
+		s, _ := NewGK(0.01)
+		const n = 10_000
+		for i := 0; i < n; i++ {
+			s.Add(gen(i))
+		}
+		med := s.Query(0.5)
+		switch name {
+		case "constant":
+			if med != 42 {
+				t.Errorf("%s: median %v, want 42", name, med)
+			}
+		default:
+			if math.Abs(med-5000) > 0.03*n {
+				t.Errorf("%s: median %v, want about 5000", name, med)
+			}
+		}
+	}
+}
+
+func TestGKDiscretizer(t *testing.T) {
+	s, _ := NewGK(0.002)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100_000; i++ {
+		s.Add(rng.Float64() * 1000)
+	}
+	d, err := s.Discretizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() < 8 || d.Bins() > 11 {
+		t.Fatalf("bins = %d", d.Bins())
+	}
+	cuts := d.Cuts()
+	for i, c := range cuts {
+		want := float64(i+1) * 100
+		if math.Abs(c-want) > 15 {
+			t.Errorf("cut %d = %v, want about %v", i, c, want)
+		}
+	}
+}
+
+func TestGKErrors(t *testing.T) {
+	if _, err := NewGK(0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewGK(0.5); err == nil {
+		t.Error("eps=0.5 accepted")
+	}
+	s, _ := NewGK(0.01)
+	if !math.IsNaN(s.Query(0.5)) {
+		t.Error("empty sketch query should be NaN")
+	}
+	if _, err := s.Discretizer(10); err == nil {
+		t.Error("empty sketch discretizer accepted")
+	}
+}

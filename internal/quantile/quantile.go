@@ -1,0 +1,176 @@
+// Package quantile implements the discretization step of CMP and CLOUDS:
+// dividing a numeric attribute's domain into intervals by an equal-depth
+// histogram (quantiling) or an equal-width histogram.
+//
+// A Discretizer with q intervals holds q-1 ascending cut points. Interval i
+// contains values v with cuts[i-1] < v <= cuts[i]; boundary i (the split
+// candidate "a <= cuts[i]") separates intervals i and i+1. Records equal to a
+// cut fall in the lower interval, matching the paper's a <= C split form.
+package quantile
+
+import (
+	"errors"
+	"sort"
+)
+
+// Discretizer maps values to interval indices.
+type Discretizer struct {
+	cuts []float64
+	// single marks intervals known to contain exactly one distinct value
+	// (heavy point masses isolated by EqualDepth). The hill-climbing gini
+	// estimate is meaningless inside them — no interior split point exists.
+	single []bool
+}
+
+// EqualDepth builds an equal-depth (quantile) discretizer from a sample of
+// the attribute's values, aiming for q intervals of approximately equal
+// population. Values heavy enough to span multiple quantile positions are
+// isolated into their own singleton interval (a cut at the value and one at
+// its sample predecessor), keeping every interval's population near n/q —
+// the property the paper's 2*N_i/N estimation bound relies on. vals is not
+// modified.
+func EqualDepth(vals []float64, q int) (*Discretizer, error) {
+	if q < 2 {
+		return nil, errors.New("quantile: need at least 2 intervals")
+	}
+	if len(vals) == 0 {
+		return nil, errors.New("quantile: empty sample")
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	cutSet := make(map[float64]bool)
+	var cuts []float64
+	add := func(c float64) {
+		if c >= sorted[n-1] || c < sorted[0] || cutSet[c] {
+			return
+		}
+		cutSet[c] = true
+		cuts = append(cuts, c)
+	}
+	// A value is "heavy" when it fills a substantial share of an interval
+	// on its own; such point masses are isolated into singleton intervals.
+	heavy := n / (2 * q)
+	if heavy < 2 {
+		heavy = 2
+	}
+	for k := 1; k < q; k++ {
+		idx := k*n/q - 1
+		if idx < 0 {
+			idx = 0
+		}
+		c := sorted[idx]
+		i := sort.SearchFloat64s(sorted, c) // first occurrence of c
+		j := sort.Search(n, func(p int) bool { return sorted[p] > c })
+		if j-i >= heavy && i > 0 {
+			// Cut just below the heavy value so its mass occupies an
+			// interval of its own.
+			add(sorted[i-1])
+		}
+		add(c)
+	}
+	sort.Float64s(cuts)
+	d := &Discretizer{cuts: cuts}
+	d.markSingles(sorted)
+	return d, nil
+}
+
+// markSingles flags intervals whose sample holds a single distinct value.
+func (d *Discretizer) markSingles(sorted []float64) {
+	bins := d.Bins()
+	d.single = make([]bool, bins)
+	n := len(sorted)
+	for k := 0; k < bins; k++ {
+		var lo, hi float64
+		if k == 0 {
+			lo = sorted[0] // inclusive lowest
+		} else {
+			lo = d.cuts[k-1]
+		}
+		if k == bins-1 {
+			hi = sorted[n-1]
+		} else {
+			hi = d.cuts[k]
+		}
+		// Sample values inside this interval: (lo, hi] for k>0, [lo, hi]
+		// for the first interval.
+		i := sort.SearchFloat64s(sorted, lo)
+		if k > 0 {
+			// skip values equal to lo
+			for i < n && sorted[i] == lo {
+				i++
+			}
+		}
+		j := sort.SearchFloat64s(sorted, hi)
+		for j < n && sorted[j] == hi {
+			j++
+		}
+		if i >= j {
+			continue // empty in sample; leave non-singleton
+		}
+		d.single[k] = sorted[i] == sorted[j-1]
+	}
+}
+
+// Singleton reports whether interval k is known to hold one distinct value.
+func (d *Discretizer) Singleton(k int) bool {
+	return d.single != nil && k < len(d.single) && d.single[k]
+}
+
+// EqualWidth builds an equal-width discretizer with q intervals spanning
+// [min, max]. If min == max a single-interval discretizer is returned.
+func EqualWidth(min, max float64, q int) (*Discretizer, error) {
+	if q < 2 {
+		return nil, errors.New("quantile: need at least 2 intervals")
+	}
+	if max < min {
+		return nil, errors.New("quantile: max < min")
+	}
+	if min == max {
+		return &Discretizer{}, nil
+	}
+	cuts := make([]float64, 0, q-1)
+	w := (max - min) / float64(q)
+	for k := 1; k < q; k++ {
+		cuts = append(cuts, min+float64(k)*w)
+	}
+	return &Discretizer{cuts: cuts}, nil
+}
+
+// FromCuts builds a discretizer from explicit ascending cut points. It is
+// used by tests and by the sub-range views CMP-B takes of a parent's
+// discretization.
+func FromCuts(cuts []float64) (*Discretizer, error) {
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return nil, errors.New("quantile: cuts not strictly ascending")
+		}
+	}
+	return &Discretizer{cuts: append([]float64(nil), cuts...)}, nil
+}
+
+// Bins returns the number of intervals.
+func (d *Discretizer) Bins() int { return len(d.cuts) + 1 }
+
+// Interval returns the interval index of v in [0, Bins()).
+func (d *Discretizer) Interval(v float64) int {
+	// Smallest i with cuts[i] >= v; values equal to a cut stay below it.
+	return sort.SearchFloat64s(d.cuts, v)
+}
+
+// Boundary returns cut point i, the value C of split candidate "a <= C"
+// between intervals i and i+1. i must be in [0, Bins()-1).
+func (d *Discretizer) Boundary(i int) float64 { return d.cuts[i] }
+
+// Cuts returns a copy of the cut points.
+func (d *Discretizer) Cuts() []float64 { return append([]float64(nil), d.cuts...) }
+
+// Slice returns a discretizer covering only intervals [lo, hi) of d, as used
+// when CMP-B splits a histogram matrix and the sub-matrix inherits the
+// parent's cuts restricted to one side.
+func (d *Discretizer) Slice(lo, hi int) *Discretizer {
+	if lo < 0 || hi > d.Bins() || lo >= hi {
+		panic("quantile: bad slice range")
+	}
+	return &Discretizer{cuts: append([]float64(nil), d.cuts[lo:hi-1]...)}
+}

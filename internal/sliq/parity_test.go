@@ -1,0 +1,31 @@
+package sliq
+
+import (
+	"testing"
+
+	"cmpdt/internal/sprint"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// TestSLIQMatchesSPRINT: both are exact algorithms over the same criterion
+// and stopping rules, so on the same data they must grow identical trees —
+// they differ only in I/O and memory strategy.
+func TestSLIQMatchesSPRINT(t *testing.T) {
+	for _, fn := range []synth.Func{synth.F1, synth.F2, synth.F6} {
+		tbl := synth.Generate(fn, 6000, 7)
+		sres, err := Build(storage.NewMem(tbl), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcfg := sprint.DefaultConfig()
+		pres, err := sprint.Build(storage.NewMem(tbl), pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Tree.String() != pres.Tree.String() {
+			t.Errorf("%v: SLIQ and SPRINT trees differ\nSLIQ:\n%s\nSPRINT:\n%s",
+				fn, sres.Tree, pres.Tree)
+		}
+	}
+}

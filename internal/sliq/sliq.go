@@ -1,0 +1,375 @@
+// Package sliq reimplements the SLIQ classifier (Mehta, Agrawal & Rissanen,
+// EDBT 1996), the exact predecessor of SPRINT that the paper cites as the
+// representative "exact approach". SLIQ pre-sorts one attribute list
+// (value, rid) per attribute and keeps an in-memory *class list* mapping
+// every record to its class label and current leaf. Each tree level makes
+// one read pass over every attribute list, evaluating the gini index at
+// every distinct value for every active leaf simultaneously, then a second
+// pass over the chosen attributes' lists updates the class list.
+//
+// Unlike SPRINT, the attribute lists are never rewritten — the price is the
+// O(n) memory-resident class list, the scalability limit SPRINT was built
+// to remove.
+package sliq
+
+import (
+	"errors"
+	"sort"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/gini"
+	"cmpdt/internal/prune"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/tree"
+)
+
+// Config controls a SLIQ build.
+type Config struct {
+	MinSplitRecords int
+	MaxDepth        int
+	MinGiniGain     float64
+	// PurityStop, when positive, stops splitting nodes whose majority class
+	// covers at least this fraction of records.
+	PurityStop float64
+	Prune      bool
+}
+
+// DefaultConfig mirrors the repository's shared stopping rules.
+func DefaultConfig() Config {
+	return Config{MinSplitRecords: 2, MaxDepth: 32, MinGiniGain: 1e-4, Prune: true}
+}
+
+// listEntrySize models an attribute-list entry on disk: 8-byte value plus
+// 4-byte rid.
+const listEntrySize = 12
+
+// Stats reports what a build did.
+type Stats struct {
+	// Levels is the number of breadth-first levels processed.
+	Levels int
+	// ListBytesIO counts attribute-list bytes read (evaluation passes plus
+	// class-list update passes). SLIQ never writes lists back.
+	ListBytesIO int64
+	// ClassListBytes is the resident class-list footprint (8 bytes per
+	// record), SLIQ's memory bound.
+	ClassListBytes int64
+	// PeakMemoryBytes is the class list plus per-leaf evaluation state.
+	PeakMemoryBytes int64
+}
+
+// Result bundles a finished build.
+type Result struct {
+	Tree  *tree.Tree
+	Stats Stats
+	IO    storage.Stats
+}
+
+// attrList is one attribute's pre-sorted list.
+type attrList struct {
+	vals []float64
+	rids []int32
+}
+
+// leafState is the per-leaf evaluation state while one attribute list
+// streams by.
+type leafState struct {
+	cum     []int
+	prev    float64
+	started bool
+	bestG   float64
+	bestTh  float64
+	found   bool
+}
+
+// node is one tree node plus SLIQ bookkeeping.
+type node struct {
+	tn     *tree.Node
+	depth  int
+	active bool
+	// chosen split for this level, applied during the update pass.
+	split     *tree.Split
+	leftLeaf  int32
+	rightLeaf int32
+	// per-level best across attributes.
+	bestG     float64
+	bestSplit tree.Split
+	bestFound bool
+}
+
+// Build trains a SLIQ tree over src.
+func Build(src storage.Source, cfg Config) (*Result, error) {
+	schema := src.Schema()
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	n := src.NumRecords()
+	if n == 0 {
+		return nil, errors.New("sliq: empty training set")
+	}
+	na := schema.NumAttrs()
+	nc := schema.NumClasses()
+
+	labels := make([]int32, n)
+	leafOf := make([]int32, n)
+	lists := make([]attrList, na)
+	for a := 0; a < na; a++ {
+		lists[a] = attrList{vals: make([]float64, 0, n), rids: make([]int32, 0, n)}
+	}
+	err := src.Scan(func(rid int, vals []float64, label int) error {
+		labels[rid] = int32(label)
+		for a := 0; a < na; a++ {
+			lists[a].vals = append(lists[a].vals, vals[a])
+			lists[a].rids = append(lists[a].rids, int32(rid))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var st Stats
+	st.ClassListBytes = int64(n) * 8
+	for a := 0; a < na; a++ {
+		if schema.Attrs[a].Kind != dataset.Numeric {
+			continue
+		}
+		l := &lists[a]
+		sort.Stable(&listSorter{l})
+		st.ListBytesIO += 2 * int64(n) * listEntrySize // read raw, write sorted
+	}
+
+	b := &builder{
+		schema: schema, cfg: cfg, nc: nc,
+		labels: labels, leafOf: leafOf, lists: lists, st: &st,
+	}
+	rootCounts := make([]int, nc)
+	for _, l := range labels {
+		rootCounts[l]++
+	}
+	root := b.newNode(0)
+	root.tn.SetCounts(rootCounts)
+
+	for level := 0; level < cfg.MaxDepth; level++ {
+		if !b.anyActive() {
+			break
+		}
+		st.Levels++
+		b.evaluateLevel()
+		if !b.applySplits() {
+			break
+		}
+	}
+	for _, nd := range b.nodes {
+		nd.active = false
+	}
+
+	t := &tree.Tree{Root: root.tn, Schema: schema}
+	if cfg.Prune {
+		prune.PUBLIC1(t, nil)
+	}
+	st.PeakMemoryBytes = st.ClassListBytes + int64(len(b.nodes))*int64(nc)*16
+	return &Result{Tree: t, Stats: st, IO: src.Stats()}, nil
+}
+
+type listSorter struct{ l *attrList }
+
+func (s *listSorter) Len() int           { return len(s.l.rids) }
+func (s *listSorter) Less(i, j int) bool { return s.l.vals[i] < s.l.vals[j] }
+func (s *listSorter) Swap(i, j int) {
+	s.l.vals[i], s.l.vals[j] = s.l.vals[j], s.l.vals[i]
+	s.l.rids[i], s.l.rids[j] = s.l.rids[j], s.l.rids[i]
+}
+
+type builder struct {
+	schema *dataset.Schema
+	cfg    Config
+	nc     int
+	labels []int32
+	leafOf []int32
+	lists  []attrList
+	nodes  []*node
+	st     *Stats
+}
+
+func (b *builder) newNode(depth int) *node {
+	nd := &node{tn: &tree.Node{}, depth: depth, active: true}
+	b.nodes = append(b.nodes, nd)
+	return nd
+}
+
+func (b *builder) anyActive() bool {
+	for _, nd := range b.nodes {
+		if nd.active {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluateLevel streams every attribute list once, maintaining per-leaf
+// cumulative histograms and candidate splits for all active leaves at once
+// — SLIQ's breadth-first trick.
+func (b *builder) evaluateLevel() {
+	for _, nd := range b.nodes {
+		if nd.active {
+			nd.bestG = 2.0
+			nd.bestFound = false
+		}
+	}
+	for a := range b.lists {
+		b.st.ListBytesIO += int64(len(b.lists[a].rids)) * listEntrySize
+		if b.schema.Attrs[a].Kind == dataset.Categorical {
+			b.evaluateCategorical(a)
+		} else {
+			b.evaluateNumeric(a)
+		}
+	}
+}
+
+func (b *builder) evaluateNumeric(a int) {
+	l := &b.lists[a]
+	states := make(map[int32]*leafState)
+	state := func(leaf int32) *leafState {
+		s := states[leaf]
+		if s == nil {
+			s = &leafState{cum: make([]int, b.nc), bestG: 2.0}
+			states[leaf] = s
+		}
+		return s
+	}
+	for i := range l.rids {
+		rid := l.rids[i]
+		leaf := b.leafOf[rid]
+		nd := b.nodes[leaf]
+		if !nd.active {
+			continue
+		}
+		v := l.vals[i]
+		s := state(leaf)
+		if s.started && v != s.prev {
+			// A candidate position between the previous distinct value and
+			// this one.
+			if g := gini.SplitBelow(s.cum, nd.tn.ClassCounts); g < s.bestG {
+				s.bestG = g
+				s.bestTh = s.prev + (v-s.prev)/2
+				s.found = true
+			}
+		}
+		s.cum[b.labels[rid]]++
+		s.prev = v
+		s.started = true
+	}
+	for leaf, s := range states {
+		nd := b.nodes[leaf]
+		if !s.found {
+			continue
+		}
+		if s.bestG < nd.bestG {
+			nd.bestG = s.bestG
+			nd.bestSplit = tree.Split{Kind: tree.SplitNumeric, Attr: a, Threshold: s.bestTh}
+			nd.bestFound = true
+		}
+	}
+}
+
+func (b *builder) evaluateCategorical(a int) {
+	l := &b.lists[a]
+	card := b.schema.Attrs[a].Cardinality()
+	counts := make(map[int32][][]int)
+	for i := range l.rids {
+		rid := l.rids[i]
+		leaf := b.leafOf[rid]
+		nd := b.nodes[leaf]
+		if !nd.active {
+			continue
+		}
+		m := counts[leaf]
+		if m == nil {
+			m = make([][]int, card)
+			for v := range m {
+				m[v] = make([]int, b.nc)
+			}
+			counts[leaf] = m
+		}
+		m[int(l.vals[i])][b.labels[rid]]++
+	}
+	for leaf, m := range counts {
+		nd := b.nodes[leaf]
+		if mask, g, ok := gini.BestSubsetSplit(m); ok && g < nd.bestG {
+			nd.bestG = g
+			nd.bestSplit = tree.Split{Kind: tree.SplitCategorical, Attr: a, Subset: mask}
+			nd.bestFound = true
+		}
+	}
+}
+
+// applySplits installs each active leaf's best split (subject to the
+// stopping rules) and updates the class list with one pass over the chosen
+// attributes' lists. Returns false if nothing split.
+func (b *builder) applySplits() bool {
+	splitAttrs := make(map[int]bool)
+	anySplit := false
+	for _, nd := range b.nodes {
+		if !nd.active {
+			continue
+		}
+		tn := nd.tn
+		stop := tn.Gini == 0 || tn.N < b.cfg.MinSplitRecords || nd.depth >= b.cfg.MaxDepth ||
+			(b.cfg.PurityStop > 0 &&
+				float64(tn.ClassCounts[tn.Class]) >= b.cfg.PurityStop*float64(tn.N))
+		if stop || !nd.bestFound || tn.Gini-nd.bestG < b.cfg.MinGiniGain {
+			nd.active = false
+			continue
+		}
+		left := b.newNode(nd.depth + 1)
+		right := b.newNode(nd.depth + 1)
+		sp := nd.bestSplit
+		nd.split = &sp
+		nd.leftLeaf = int32(len(b.nodes) - 2)
+		nd.rightLeaf = int32(len(b.nodes) - 1)
+		tn.Split = &sp
+		tn.Left, tn.Right = left.tn, right.tn
+		nd.active = false
+		splitAttrs[sp.Attr] = true
+		anySplit = true
+	}
+	if !anySplit {
+		return false
+	}
+
+	// Update pass: re-read the splitting attributes' lists and move each
+	// record to its child leaf.
+	leftCounts := make(map[int32][]int)
+	for a := range splitAttrs {
+		b.st.ListBytesIO += int64(len(b.lists[a].rids)) * listEntrySize
+		l := &b.lists[a]
+		for i := range l.rids {
+			rid := l.rids[i]
+			nd := b.nodes[b.leafOf[rid]]
+			if nd.split == nil || nd.split.Attr != a {
+				continue
+			}
+			var child int32
+			if nd.split.GoesLeftValue(l.vals[i]) {
+				child = nd.leftLeaf
+			} else {
+				child = nd.rightLeaf
+			}
+			b.leafOf[rid] = child
+			lc := leftCounts[child]
+			if lc == nil {
+				lc = make([]int, b.nc)
+				leftCounts[child] = lc
+			}
+			lc[b.labels[rid]]++
+		}
+	}
+	for leaf, counts := range leftCounts {
+		b.nodes[leaf].tn.SetCounts(counts)
+	}
+	// Clear the applied splits so later update passes don't re-route.
+	for _, nd := range b.nodes {
+		nd.split = nil
+	}
+	return true
+}

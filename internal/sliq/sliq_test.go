@@ -1,0 +1,140 @@
+package sliq
+
+import (
+	"testing"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/exact"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+	"cmpdt/internal/tree"
+)
+
+func accuracy(t *tree.Tree, tbl *dataset.Table) float64 {
+	correct := 0
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if t.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(tbl.NumRecords())
+}
+
+func TestSLIQAccuracy(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 8000, 3)
+	cfg := DefaultConfig()
+	cfg.Prune = false
+	res, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(res.Tree, tbl); acc < 0.999 {
+		t.Errorf("SLIQ training accuracy %.4f, want ~1.0 (exact algorithm)", acc)
+	}
+}
+
+func TestSLIQRootMatchesExact(t *testing.T) {
+	tbl := synth.Generate(synth.F6, 5000, 9)
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	cfg.Prune = false
+	res, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, ok := exact.BestSplit(rowsOf{tbl}, tbl.Schema())
+	if !ok {
+		t.Fatal("exact found no split")
+	}
+	got := res.Tree.Root.Split
+	if got == nil {
+		t.Fatal("SLIQ did not split the root")
+	}
+	if got.Kind != want.Kind || got.Attr != want.Attr {
+		t.Errorf("root split %v, exact %v", got.Describe(tbl.Schema()), want.Describe(tbl.Schema()))
+	}
+}
+
+type rowsOf struct{ t *dataset.Table }
+
+func (r rowsOf) Len() int            { return r.t.NumRecords() }
+func (r rowsOf) Row(i int) []float64 { return r.t.Row(i) }
+func (r rowsOf) Label(i int) int     { return r.t.Label(i) }
+
+func TestSLIQIOModel(t *testing.T) {
+	tbl := synth.Generate(synth.F1, 5000, 2)
+	res, err := Build(storage.NewMem(tbl), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	// The class list is pinned in memory: 8 bytes per record.
+	if st.ClassListBytes != 8*5000 {
+		t.Errorf("ClassListBytes = %d", st.ClassListBytes)
+	}
+	if st.PeakMemoryBytes < st.ClassListBytes {
+		t.Error("peak memory below the class list")
+	}
+	// Lists are read per level but never rewritten: total traffic is far
+	// below SPRINT's partition-and-rewrite volume for the same tree.
+	if st.ListBytesIO <= 0 {
+		t.Error("no list traffic recorded")
+	}
+	if res.IO.Scans != 1 {
+		t.Errorf("source scans = %d, want 1", res.IO.Scans)
+	}
+	if st.Levels < 1 {
+		t.Error("no levels recorded")
+	}
+}
+
+func TestSLIQCategorical(t *testing.T) {
+	tbl := synth.Generate(synth.F3, 8000, 6)
+	res, err := Build(storage.NewMem(tbl), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(res.Tree, tbl); acc < 0.99 {
+		t.Errorf("F3 accuracy %.4f", acc)
+	}
+	hasCat := false
+	res.Tree.Walk(func(n *tree.Node, _ int) {
+		if !n.IsLeaf() && n.Split.Kind == tree.SplitCategorical {
+			hasCat = true
+		}
+	})
+	if !hasCat {
+		t.Error("F3 tree should contain a categorical split")
+	}
+}
+
+func TestSLIQEmptyAndStops(t *testing.T) {
+	empty := dataset.MustNew(synth.Schema())
+	if _, err := Build(storage.NewMem(empty), DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	tbl := synth.Generate(synth.F7, 6000, 4)
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 2
+	res, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Depth() > 2 {
+		t.Errorf("depth %d exceeds MaxDepth 2", res.Tree.Depth())
+	}
+	cfg = DefaultConfig()
+	cfg.PurityStop = 0.8
+	cfg.Prune = false
+	shallow, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(storage.NewMem(tbl), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Tree.Size() > full.Tree.Size() {
+		t.Error("purity stop grew the tree")
+	}
+}

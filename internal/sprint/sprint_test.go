@@ -1,0 +1,146 @@
+package sprint
+
+import (
+	"testing"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/exact"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+	"cmpdt/internal/tree"
+)
+
+func accuracy(t *tree.Tree, tbl *dataset.Table) float64 {
+	correct := 0
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if t.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(tbl.NumRecords())
+}
+
+func TestSPRINTAccuracy(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 8000, 3)
+	cfg := DefaultConfig()
+	cfg.Prune = false
+	res, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(res.Tree, tbl); acc < 0.999 {
+		t.Errorf("SPRINT training accuracy %.4f, want ~1.0 (exact algorithm)", acc)
+	}
+}
+
+// TestSPRINTFirstSplitMatchesExact: SPRINT's root split must equal the
+// exact in-memory builder's — both evaluate every distinct value.
+func TestSPRINTFirstSplitMatchesExact(t *testing.T) {
+	tbl := synth.Generate(synth.F6, 5000, 9)
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	cfg.Prune = false
+	res, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSplit, _, ok := exact.BestSplit(rowsOf{tbl}, tbl.Schema())
+	if !ok {
+		t.Fatal("exact found no split")
+	}
+	got := res.Tree.Root.Split
+	if got == nil {
+		t.Fatal("SPRINT did not split the root")
+	}
+	if got.Kind != wantSplit.Kind || got.Attr != wantSplit.Attr {
+		t.Errorf("root split %v, exact %v",
+			got.Describe(tbl.Schema()), wantSplit.Describe(tbl.Schema()))
+	}
+	if got.Kind == tree.SplitNumeric && got.Threshold != wantSplit.Threshold {
+		t.Errorf("threshold %v, exact %v", got.Threshold, wantSplit.Threshold)
+	}
+}
+
+type rowsOf struct{ t *dataset.Table }
+
+func (r rowsOf) Len() int            { return r.t.NumRecords() }
+func (r rowsOf) Row(i int) []float64 { return r.t.Row(i) }
+func (r rowsOf) Label(i int) int     { return r.t.Label(i) }
+
+func TestSPRINTStats(t *testing.T) {
+	tbl := synth.Generate(synth.F1, 5000, 2)
+	res, err := Build(storage.NewMem(tbl), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Levels < 1 {
+		t.Error("no levels recorded")
+	}
+	// The presort alone moves 2 bytes per entry per numeric attribute; any
+	// real run must exceed that.
+	if st.ListBytesIO < int64(5000)*listEntrySize {
+		t.Errorf("ListBytesIO = %d implausibly low", st.ListBytesIO)
+	}
+	if st.HashBytesPeak <= 0 || st.PeakMemoryBytes <= 0 {
+		t.Error("memory accounting empty")
+	}
+	// SPRINT reads the source exactly once (presort load).
+	if res.IO.Scans != 1 {
+		t.Errorf("source scans = %d, want 1", res.IO.Scans)
+	}
+}
+
+func TestSPRINTCategoricalSplits(t *testing.T) {
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "c", Kind: dataset.Categorical, Values: []string{"p", "q", "r"}},
+			{Name: "x", Kind: dataset.Numeric},
+		},
+		Classes: []string{"no", "yes"},
+	}
+	tbl := dataset.MustNew(schema)
+	for i := 0; i < 600; i++ {
+		v := i % 3
+		label := 0
+		if v == 1 {
+			label = 1
+		}
+		tbl.Append([]float64{float64(v), float64(i % 7)}, label)
+	}
+	res, err := Build(storage.NewMem(tbl), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(res.Tree, tbl); acc != 1.0 {
+		t.Errorf("categorical accuracy %.3f", acc)
+	}
+	if res.Tree.Root.Split.Kind != tree.SplitCategorical {
+		t.Error("root should split on the categorical attribute")
+	}
+}
+
+func TestSPRINTEmptyInput(t *testing.T) {
+	tbl := dataset.MustNew(synth.Schema())
+	if _, err := Build(storage.NewMem(tbl), DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestSPRINTPurityStop(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 5000, 3)
+	cfg := DefaultConfig()
+	cfg.PurityStop = 0.80
+	cfg.Prune = false
+	res, err := Build(storage.NewMem(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(storage.NewMem(tbl), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Size() > full.Tree.Size() {
+		t.Errorf("purity stop grew the tree: %d > %d", res.Tree.Size(), full.Tree.Size())
+	}
+}

@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cmpdt/internal/synth"
+)
+
+func BenchmarkMemScan(b *testing.B) {
+	tbl := synth.Generate(synth.F2, 100_000, 1)
+	src := NewMem(tbl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		src.Scan(func(rid int, vals []float64, label int) error {
+			n++
+			return nil
+		})
+		if n != 100_000 {
+			b.Fatal("short scan")
+		}
+	}
+	b.SetBytes(int64(100_000 * (9*8 + 2)))
+}
+
+func BenchmarkFileScan(b *testing.B) {
+	tbl := synth.Generate(synth.F2, 100_000, 1)
+	path := filepath.Join(b.TempDir(), "bench.rec")
+	f, err := WriteTable(path, tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		f.Scan(func(rid int, vals []float64, label int) error {
+			n++
+			return nil
+		})
+		if n != 100_000 {
+			b.Fatal("short scan")
+		}
+	}
+	b.SetBytes(int64(100_000 * (9*8 + 2)))
+}
+
+func BenchmarkFileWrite(b *testing.B) {
+	tbl := synth.Generate(synth.F2, 50_000, 1)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, "w.rec")
+		if _, err := WriteTable(path, tbl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(50_000 * (9*8 + 2)))
+}

@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cmpdt/internal/dataset"
+)
+
+// magic identifies the binary record file format.
+const magic = "CMPDT1\n"
+
+// fileHeader is the JSON header stored after the magic string.
+type fileHeader struct {
+	Schema     *dataset.Schema `json:"schema"`
+	NumRecords int             `json:"num_records"`
+}
+
+// Writer streams records into a new binary store file.
+type Writer struct {
+	path   string
+	f      *os.File
+	bw     *bufio.Writer
+	schema *dataset.Schema
+	n      int
+	buf    []byte
+}
+
+// CreateFile starts writing a binary record store at path, truncating any
+// existing file. Call Append for each record, then Close.
+func CreateFile(path string, schema *dataset.Schema) (*Writer, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if schema.NumClasses() > math.MaxUint16 {
+		return nil, fmt.Errorf("storage: %d classes exceed label encoding", schema.NumClasses())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		path:   path,
+		f:      f,
+		bw:     bufio.NewWriterSize(f, 4*PageSize),
+		schema: schema,
+		buf:    make([]byte, recordBytes(schema)),
+	}
+	if err := w.writeHeader(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// headerPad reserves room in the initial header for the final record count
+// (written by Close), whose decimal digits grow the JSON.
+const headerPad = 24
+
+func (w *Writer) writeHeader() error {
+	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < headerPad; i++ {
+		hdr = append(hdr, ' ') // trailing spaces are ignored by json.Unmarshal
+	}
+	if _, err := w.bw.WriteString(magic); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+	if _, err := w.bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.bw.Write(hdr)
+	return err
+}
+
+// Append writes one record.
+func (w *Writer) Append(vals []float64, label int) error {
+	if len(vals) != w.schema.NumAttrs() {
+		return fmt.Errorf("storage: record has %d values, schema has %d attributes",
+			len(vals), w.schema.NumAttrs())
+	}
+	if label < 0 || label >= w.schema.NumClasses() {
+		return fmt.Errorf("storage: label %d out of range", label)
+	}
+	off := 0
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(w.buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint16(w.buf[off:], uint16(label))
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Close flushes, rewrites the header with the final record count, and opens
+// the finished store for reading.
+func (w *Writer) Close() (*File, error) {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	// Rewrite the header in place with the final record count, padded to the
+	// exact length reserved by writeHeader so record offsets are unchanged.
+	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n})
+	if err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	hdr0, _ := json.Marshal(fileHeader{Schema: w.schema, NumRecords: 0})
+	reserved := len(hdr0) + headerPad
+	if len(hdr) > reserved {
+		w.f.Close()
+		return nil, fmt.Errorf("storage: header grew past reserved %d bytes", reserved)
+	}
+	for len(hdr) < reserved {
+		hdr = append(hdr, ' ')
+	}
+	if _, err := w.f.WriteAt(hdr, int64(len(magic))+4); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, err
+	}
+	return OpenFile(w.path)
+}
+
+// File is a read-only binary record store with metered scans.
+type File struct {
+	path    string
+	schema  *dataset.Schema
+	n       int
+	dataOff int64
+	recSize int64
+	stats   Stats
+}
+
+// OpenFile opens an existing store.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("storage: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("storage: %s is not a CMPDT record file", path)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("storage: reading header length: %w", err)
+	}
+	hdrLen := binary.LittleEndian.Uint32(lenBuf[:])
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrBytes); err != nil {
+		return nil, fmt.Errorf("storage: reading header: %w", err)
+	}
+	var hdr fileHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("storage: decoding header: %w", err)
+	}
+	if err := hdr.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("storage: stored schema invalid: %w", err)
+	}
+	return &File{
+		path:    path,
+		schema:  hdr.Schema,
+		n:       hdr.NumRecords,
+		dataOff: int64(len(magic)) + 4 + int64(hdrLen),
+		recSize: recordBytes(hdr.Schema),
+	}, nil
+}
+
+// Schema implements Source.
+func (f *File) Schema() *dataset.Schema { return f.schema }
+
+// NumRecords implements Source.
+func (f *File) NumRecords() int { return f.n }
+
+// Path returns the underlying file path.
+func (f *File) Path() string { return f.path }
+
+// Scan implements Source, reading the file sequentially with a page-sized
+// buffer and metering bytes, pages and records.
+func (f *File) Scan(fn func(rid int, vals []float64, label int) error) error {
+	file, err := os.Open(f.path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if _, err := file.Seek(f.dataOff, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(file, 4*PageSize)
+	k := f.schema.NumAttrs()
+	vals := make([]float64, k)
+	buf := make([]byte, f.recSize)
+	account := func(rids int) {
+		f.stats.RecordsRead += int64(rids)
+		bytes := int64(rids) * f.recSize
+		f.stats.BytesRead += bytes
+		f.stats.PagesRead += pagesFor(bytes)
+	}
+	for rid := 0; rid < f.n; rid++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			account(rid)
+			return fmt.Errorf("storage: record %d of %s: %w", rid, f.path, err)
+		}
+		off := 0
+		for i := 0; i < k; i++ {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		label := int(binary.LittleEndian.Uint16(buf[off:]))
+		if err := fn(rid, vals, label); err != nil {
+			account(rid + 1)
+			return err
+		}
+	}
+	account(f.n)
+	f.stats.Scans++
+	return nil
+}
+
+// Stats implements Source.
+func (f *File) Stats() Stats { return f.stats }
+
+// ResetStats implements Source.
+func (f *File) ResetStats() { f.stats = Stats{} }
+
+// WriteTable stores an in-memory table at path and opens it.
+func WriteTable(path string, t *dataset.Table) (*File, error) {
+	w, err := CreateFile(path, t.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < t.NumRecords(); i++ {
+		if err := w.Append(t.Row(i), t.Label(i)); err != nil {
+			w.f.Close()
+			return nil, err
+		}
+	}
+	return w.Close()
+}
+
+// ReadAll loads an entire source into memory as a table.
+func ReadAll(src Source) (*dataset.Table, error) {
+	t, err := dataset.New(src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	err = src.Scan(func(rid int, vals []float64, label int) error {
+		return t.Append(vals, label)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

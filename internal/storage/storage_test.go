@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpdt/internal/dataset"
+)
+
+func testTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "a", Kind: dataset.Numeric},
+			{Name: "b", Kind: dataset.Numeric},
+			{Name: "c", Kind: dataset.Categorical, Values: []string{"u", "v"}},
+		},
+		Classes: []string{"n", "y"},
+	}
+	tbl := dataset.MustNew(schema)
+	for i := 0; i < n; i++ {
+		if err := tbl.Append([]float64{float64(i), float64(i) * 0.5, float64(i % 2)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestMemScanAndStats(t *testing.T) {
+	tbl := testTable(t, 100)
+	m := NewMem(tbl)
+	if m.NumRecords() != 100 {
+		t.Fatalf("NumRecords = %d", m.NumRecords())
+	}
+	count := 0
+	err := m.Scan(func(rid int, vals []float64, label int) error {
+		if rid != count {
+			t.Fatalf("rid %d out of order (want %d)", rid, count)
+		}
+		if vals[0] != float64(rid) || label != rid%2 {
+			t.Fatalf("record %d corrupted: %v %d", rid, vals, label)
+		}
+		count++
+		return nil
+	})
+	if err != nil || count != 100 {
+		t.Fatalf("scan err=%v count=%d", err, count)
+	}
+	st := m.Stats()
+	recSize := int64(3*8 + 2)
+	if st.Scans != 1 || st.RecordsRead != 100 || st.BytesRead != 100*recSize {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.PagesRead != (100*recSize+PageSize-1)/PageSize {
+		t.Errorf("PagesRead = %d", st.PagesRead)
+	}
+	m.ResetStats()
+	if m.Stats().Scans != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestMemScanEarlyStop(t *testing.T) {
+	m := NewMem(testTable(t, 50))
+	stop := errors.New("stop")
+	err := m.Scan(func(rid int, vals []float64, label int) error {
+		if rid == 9 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	st := m.Stats()
+	if st.Scans != 0 {
+		t.Error("partial scan counted as full")
+	}
+	if st.RecordsRead != 10 {
+		t.Errorf("RecordsRead = %d, want 10", st.RecordsRead)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tbl := testTable(t, 1234)
+	path := filepath.Join(t.TempDir(), "data.rec")
+	f, err := WriteTable(path, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 1234 {
+		t.Fatalf("NumRecords = %d", f.NumRecords())
+	}
+	if f.Schema().NumAttrs() != 3 || f.Schema().Attrs[2].Values[1] != "v" {
+		t.Error("schema did not round-trip")
+	}
+	back, err := ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != tbl.NumRecords() {
+		t.Fatalf("record count %d != %d", back.NumRecords(), tbl.NumRecords())
+	}
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if back.Label(i) != tbl.Label(i) {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for a := 0; a < 3; a++ {
+			if back.Value(i, a) != tbl.Value(i, a) {
+				t.Fatalf("value (%d,%d) mismatch", i, a)
+			}
+		}
+	}
+	// ReadAll performed one scan on f.
+	if f.Stats().Scans != 1 {
+		t.Errorf("Scans = %d, want 1", f.Stats().Scans)
+	}
+}
+
+func TestFileAndMemAgree(t *testing.T) {
+	tbl := testTable(t, 321)
+	path := filepath.Join(t.TempDir(), "agree.rec")
+	f, err := WriteTable(path, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMem(tbl)
+	var fromFile, fromMem []float64
+	f.Scan(func(rid int, vals []float64, label int) error {
+		fromFile = append(fromFile, vals...)
+		fromFile = append(fromFile, float64(label))
+		return nil
+	})
+	m.Scan(func(rid int, vals []float64, label int) error {
+		fromMem = append(fromMem, vals...)
+		fromMem = append(fromMem, float64(label))
+		return nil
+	})
+	if len(fromFile) != len(fromMem) {
+		t.Fatalf("lengths differ: %d vs %d", len(fromFile), len(fromMem))
+	}
+	for i := range fromFile {
+		if fromFile[i] != fromMem[i] {
+			t.Fatalf("streams differ at %d", i)
+		}
+	}
+	// Byte accounting should be identical between the two sources.
+	if f.Stats().BytesRead != m.Stats().BytesRead {
+		t.Errorf("BytesRead %d vs %d", f.Stats().BytesRead, m.Stats().BytesRead)
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a record store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	tbl := testTable(t, 1)
+	path := filepath.Join(t.TempDir(), "w.rec")
+	w, err := CreateFile(path, tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1}, 0); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := w.Append([]float64{1, 2, 0}, 5); err == nil {
+		t.Error("bad label accepted")
+	}
+	if err := w.Append([]float64{1, 2, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 1 {
+		t.Errorf("NumRecords = %d, want 1", f.NumRecords())
+	}
+}
+
+func TestEmptyFileStore(t *testing.T) {
+	tbl := testTable(t, 0)
+	path := filepath.Join(t.TempDir(), "empty.rec")
+	f, err := WriteTable(path, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 0 {
+		t.Errorf("NumRecords = %d", f.NumRecords())
+	}
+	called := false
+	f.Scan(func(int, []float64, int) error { called = true; return nil })
+	if called {
+		t.Error("callback invoked for empty store")
+	}
+}

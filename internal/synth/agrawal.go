@@ -1,0 +1,282 @@
+// Package synth generates the synthetic workloads of the paper's evaluation:
+// the classification benchmark functions of Agrawal, Imielinski & Swami
+// ("Database Mining: A Performance Perspective", TKDE 1993) — the paper's
+// "Function 2" and "Function 7" — the paper's linearly-correlated Function f
+// from Section 2.3, and deterministic stand-ins for the STATLOG datasets of
+// Table 1.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cmpdt/internal/dataset"
+)
+
+// Func selects one of the Agrawal benchmark predicates (F1..F10) or the
+// paper's Function f.
+type Func int
+
+// The ten Agrawal functions plus the paper's Function f
+// ((age >= 40) and (salary+commission >= 100,000)).
+const (
+	F1 Func = iota + 1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	// FPaper is Function f from Section 2.3 of the CMP paper: group A iff
+	// (age >= 40) and (salary + commission >= 100,000). Its class boundary
+	// is a linear combination of two attributes, the case CMP's oblique
+	// splits are designed for.
+	FPaper
+)
+
+// String names the function the way the paper does.
+func (f Func) String() string {
+	if f >= F1 && f <= F10 {
+		return fmt.Sprintf("Function %d", int(f))
+	}
+	if f == FPaper {
+		return "Function f"
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+// ParseFunc converts names like "2", "F7" or "f" to a Func.
+func ParseFunc(s string) (Func, error) {
+	switch s {
+	case "f", "F", "paper":
+		return FPaper, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "F%d", &n); err != nil {
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+			return 0, fmt.Errorf("synth: unknown function %q", s)
+		}
+	}
+	if n < 1 || n > 10 {
+		return 0, fmt.Errorf("synth: function number %d out of range [1,10]", n)
+	}
+	return Func(n), nil
+}
+
+// Attribute indices in the Agrawal schema.
+const (
+	AttrSalary = iota
+	AttrCommission
+	AttrAge
+	AttrElevel
+	AttrCar
+	AttrZipcode
+	AttrHvalue
+	AttrHyears
+	AttrLoan
+	numAgrawalAttrs
+)
+
+// Schema returns the nine-attribute Agrawal schema (six numeric, three
+// categorical) with classes "GroupA" and "GroupB".
+func Schema() *dataset.Schema {
+	elevels := make([]string, 5)
+	for i := range elevels {
+		elevels[i] = fmt.Sprintf("L%d", i)
+	}
+	cars := make([]string, 20)
+	for i := range cars {
+		cars[i] = fmt.Sprintf("M%d", i+1)
+	}
+	zips := make([]string, 9)
+	for i := range zips {
+		zips[i] = fmt.Sprintf("Z%d", i)
+	}
+	return &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "salary", Kind: dataset.Numeric},
+			{Name: "commission", Kind: dataset.Numeric},
+			{Name: "age", Kind: dataset.Numeric},
+			{Name: "elevel", Kind: dataset.Categorical, Values: elevels},
+			{Name: "car", Kind: dataset.Categorical, Values: cars},
+			{Name: "zipcode", Kind: dataset.Categorical, Values: zips},
+			{Name: "hvalue", Kind: dataset.Numeric},
+			{Name: "hyears", Kind: dataset.Numeric},
+			{Name: "loan", Kind: dataset.Numeric},
+		},
+		Classes: []string{"GroupA", "GroupB"},
+	}
+}
+
+// Appender receives generated records; both *dataset.Table and
+// *storage.Writer satisfy it.
+type Appender interface {
+	Append(vals []float64, label int) error
+}
+
+// Options tunes generation.
+type Options struct {
+	// Noise is the probability of flipping a record's class label,
+	// modelling the perturbation of the original benchmark. Zero by
+	// default.
+	Noise float64
+}
+
+// Generate produces n records of the given function into a fresh in-memory
+// table, deterministically from seed.
+func Generate(fn Func, n int, seed int64) *dataset.Table {
+	t := dataset.MustNew(Schema())
+	if err := GenerateTo(t, fn, n, seed, Options{}); err != nil {
+		panic(err) // Table.Append cannot fail on generator output
+	}
+	return t
+}
+
+// GenerateTo streams n records of the given function into dst.
+func GenerateTo(dst Appender, fn Func, n int, seed int64, opts Options) error {
+	if fn != FPaper && (fn < F1 || fn > F10) {
+		return fmt.Errorf("synth: unknown function %d", int(fn))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, numAgrawalAttrs)
+	for i := 0; i < n; i++ {
+		drawRecord(rng, vals)
+		label := classify(fn, vals)
+		if opts.Noise > 0 && rng.Float64() < opts.Noise {
+			label = 1 - label
+		}
+		if err := dst.Append(vals, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawRecord fills vals with one record of the Agrawal distribution:
+//
+//	salary      uniform [20000, 150000]
+//	commission  0 if salary >= 75000, else uniform [10000, 75000]
+//	age         uniform [20, 80]
+//	elevel      uniform {0..4}
+//	car         uniform {0..19}
+//	zipcode     uniform {0..8}
+//	hvalue      uniform [z*50000, z*100000] with z = zipcode+1
+//	hyears      uniform [1, 30]
+//	loan        uniform [0, 500000]
+func drawRecord(rng *rand.Rand, vals []float64) {
+	salary := uniform(rng, 20000, 150000)
+	commission := 0.0
+	if salary < 75000 {
+		commission = uniform(rng, 10000, 75000)
+	}
+	zip := rng.Intn(9)
+	z := float64(zip + 1)
+	vals[AttrSalary] = salary
+	vals[AttrCommission] = commission
+	vals[AttrAge] = uniform(rng, 20, 80)
+	vals[AttrElevel] = float64(rng.Intn(5))
+	vals[AttrCar] = float64(rng.Intn(20))
+	vals[AttrZipcode] = float64(zip)
+	vals[AttrHvalue] = uniform(rng, z*50000, z*100000)
+	vals[AttrHyears] = uniform(rng, 1, 30)
+	vals[AttrLoan] = uniform(rng, 0, 500000)
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// classify returns 0 for group A, 1 for group B.
+func classify(fn Func, v []float64) int {
+	salary := v[AttrSalary]
+	commission := v[AttrCommission]
+	age := v[AttrAge]
+	elevel := int(v[AttrElevel])
+	hvalue := v[AttrHvalue]
+	hyears := v[AttrHyears]
+	loan := v[AttrLoan]
+
+	groupA := false
+	switch fn {
+	case F1:
+		groupA = age < 40 || age >= 60
+	case F2:
+		groupA = (age < 40 && between(salary, 50000, 100000)) ||
+			(age >= 40 && age < 60 && between(salary, 75000, 125000)) ||
+			(age >= 60 && between(salary, 25000, 75000))
+	case F3:
+		groupA = (age < 40 && elevel <= 1) ||
+			(age >= 40 && age < 60 && elevel >= 1 && elevel <= 3) ||
+			(age >= 60 && elevel >= 2)
+	case F4:
+		switch {
+		case age < 40:
+			if elevel <= 1 {
+				groupA = between(salary, 25000, 75000)
+			} else {
+				groupA = between(salary, 50000, 100000)
+			}
+		case age < 60:
+			if elevel >= 1 && elevel <= 3 {
+				groupA = between(salary, 50000, 100000)
+			} else {
+				groupA = between(salary, 75000, 125000)
+			}
+		default:
+			if elevel >= 2 {
+				groupA = between(salary, 50000, 100000)
+			} else {
+				groupA = between(salary, 25000, 75000)
+			}
+		}
+	case F5:
+		switch {
+		case age < 40:
+			if between(salary, 50000, 100000) {
+				groupA = between(loan, 100000, 300000)
+			} else {
+				groupA = between(loan, 200000, 400000)
+			}
+		case age < 60:
+			if between(salary, 75000, 125000) {
+				groupA = between(loan, 200000, 400000)
+			} else {
+				groupA = between(loan, 300000, 500000)
+			}
+		default:
+			if between(salary, 25000, 75000) {
+				groupA = between(loan, 300000, 500000)
+			} else {
+				groupA = between(loan, 100000, 300000)
+			}
+		}
+	case F6:
+		total := salary + commission
+		groupA = (age < 40 && between(total, 50000, 100000)) ||
+			(age >= 40 && age < 60 && between(total, 75000, 125000)) ||
+			(age >= 60 && between(total, 25000, 75000))
+	case F7:
+		groupA = 0.67*(salary+commission)-0.2*loan-20000 > 0
+	case F8:
+		groupA = 0.67*(salary+commission)-5000*float64(elevel)-20000 > 0
+	case F9:
+		groupA = 0.67*(salary+commission)-5000*float64(elevel)-0.2*loan-10000 > 0
+	case F10:
+		equity := 0.0
+		if hyears >= 20 {
+			equity = 0.1 * hvalue * (hyears - 20)
+		}
+		groupA = 0.67*(salary+commission)-5000*float64(elevel)+0.2*equity-10000 > 0
+	case FPaper:
+		groupA = age >= 40 && salary+commission >= 100000
+	}
+	if groupA {
+		return 0
+	}
+	return 1
+}
+
+func between(v, lo, hi float64) bool { return v >= lo && v <= hi }

@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cmpdt/internal/dataset"
+)
+
+// The STATLOG datasets of Table 1 are distributed by the UCI repository and
+// are not shipped with this reproduction. Statlog generates deterministic
+// synthetic stand-ins with the same record counts, attribute counts and
+// class counts, built as Gaussian mixtures: each class has a centroid over a
+// few informative attributes (so one attribute dominates the first split, as
+// in the originals) and the remaining attributes are uninformative noise.
+// Table 1 measures whether discretized split selection matches exact split
+// selection — a property of histogram geometry, not of the particular UCI
+// distributions — so the stand-ins exercise it the same way.
+
+type statlogSpec struct {
+	n           int
+	attrs       int
+	classes     int
+	informative int
+	sep         float64 // centroid separation in units of the class stddev
+	skew        float64 // class-prior skew: weight(c) proportional to skew^c
+}
+
+var statlogSpecs = map[string]statlogSpec{
+	"letter":   {n: 15000, attrs: 16, classes: 26, informative: 6, sep: 2.2, skew: 1},
+	"satimage": {n: 4435, attrs: 36, classes: 6, informative: 8, sep: 3.0, skew: 1},
+	"segment":  {n: 2310, attrs: 19, classes: 7, informative: 5, sep: 3.0, skew: 1},
+	"shuttle":  {n: 43500, attrs: 9, classes: 7, informative: 3, sep: 4.0, skew: 0.45},
+}
+
+// StatlogNames lists the available stand-in datasets in a fixed order.
+func StatlogNames() []string {
+	names := make([]string, 0, len(statlogSpecs))
+	for n := range statlogSpecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StatlogSize returns the record count of the named stand-in.
+func StatlogSize(name string) (int, error) {
+	spec, ok := statlogSpecs[name]
+	if !ok {
+		return 0, fmt.Errorf("synth: unknown STATLOG dataset %q", name)
+	}
+	return spec.n, nil
+}
+
+// Statlog generates the named stand-in dataset ("letter", "satimage",
+// "segment" or "shuttle"), deterministically from seed.
+func Statlog(name string, seed int64) (*dataset.Table, error) {
+	spec, ok := statlogSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown STATLOG dataset %q (have %v)", name, StatlogNames())
+	}
+	schema := &dataset.Schema{
+		Attrs:   make([]dataset.Attribute, spec.attrs),
+		Classes: make([]string, spec.classes),
+	}
+	for i := range schema.Attrs {
+		schema.Attrs[i] = dataset.Attribute{Name: fmt.Sprintf("a%d", i), Kind: dataset.Numeric}
+	}
+	for c := range schema.Classes {
+		schema.Classes[c] = fmt.Sprintf("c%d", c)
+	}
+	t := dataset.MustNew(schema)
+
+	rng := rand.New(rand.NewSource(seed))
+
+	// Class centroids over the informative attributes.
+	centroids := make([][]float64, spec.classes)
+	for c := range centroids {
+		centroids[c] = make([]float64, spec.informative)
+		for j := range centroids[c] {
+			centroids[c][j] = spec.sep * rng.NormFloat64()
+		}
+	}
+	// Class priors, optionally skewed.
+	weights := make([]float64, spec.classes)
+	sum := 0.0
+	w := 1.0
+	for c := range weights {
+		weights[c] = w
+		sum += w
+		if spec.skew != 1 {
+			w *= spec.skew
+		}
+	}
+	cum := make([]float64, spec.classes)
+	run := 0.0
+	for c := range weights {
+		run += weights[c] / sum
+		cum[c] = run
+	}
+
+	vals := make([]float64, spec.attrs)
+	for i := 0; i < spec.n; i++ {
+		u := rng.Float64()
+		class := sort.SearchFloat64s(cum, u)
+		if class >= spec.classes {
+			class = spec.classes - 1
+		}
+		for j := 0; j < spec.informative; j++ {
+			vals[j] = centroids[class][j] + rng.NormFloat64()
+		}
+		for j := spec.informative; j < spec.attrs; j++ {
+			vals[j] = uniform(rng, 0, 100)
+		}
+		if err := t.Append(vals, class); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"testing"
+
+	"cmpdt/internal/dataset"
+)
+
+func TestSchemaValid(t *testing.T) {
+	if err := Schema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := Schema()
+	if s.NumAttrs() != 9 || s.NumClasses() != 2 {
+		t.Fatalf("schema shape %d/%d", s.NumAttrs(), s.NumClasses())
+	}
+	if s.Attrs[AttrElevel].Kind != dataset.Categorical ||
+		s.Attrs[AttrSalary].Kind != dataset.Numeric {
+		t.Error("attribute kinds wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(F2, 500, 7)
+	b := Generate(F2, 500, 7)
+	for i := 0; i < 500; i++ {
+		if a.Label(i) != b.Label(i) {
+			t.Fatal("same seed, different labels")
+		}
+		for j := 0; j < 9; j++ {
+			if a.Value(i, j) != b.Value(i, j) {
+				t.Fatal("same seed, different values")
+			}
+		}
+	}
+	c := Generate(F2, 500, 8)
+	diff := false
+	for i := 0; i < 500 && !diff; i++ {
+		diff = a.Value(i, AttrSalary) != c.Value(i, AttrSalary)
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAllFunctionsProduceBothClasses(t *testing.T) {
+	for fn := F1; fn <= F10; fn++ {
+		tbl := Generate(fn, 3000, 11)
+		counts := tbl.ClassCounts()
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Errorf("%v: degenerate class distribution %v", fn, counts)
+		}
+	}
+	tbl := Generate(FPaper, 3000, 11)
+	counts := tbl.ClassCounts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("Function f: degenerate distribution %v", counts)
+	}
+}
+
+func TestLabelsMatchDefinitions(t *testing.T) {
+	tbl := Generate(FPaper, 2000, 3)
+	for i := 0; i < tbl.NumRecords(); i++ {
+		row := tbl.Row(i)
+		want := 1
+		if row[AttrAge] >= 40 && row[AttrSalary]+row[AttrCommission] >= 100_000 {
+			want = 0
+		}
+		if tbl.Label(i) != want {
+			t.Fatalf("record %d: label %d, rule says %d", i, tbl.Label(i), want)
+		}
+	}
+	tbl = Generate(F1, 2000, 3)
+	for i := 0; i < tbl.NumRecords(); i++ {
+		age := tbl.Value(i, AttrAge)
+		want := 1
+		if age < 40 || age >= 60 {
+			want = 0
+		}
+		if tbl.Label(i) != want {
+			t.Fatalf("F1 record %d: label %d, rule says %d (age=%v)", i, tbl.Label(i), want, age)
+		}
+	}
+}
+
+func TestCommissionRule(t *testing.T) {
+	tbl := Generate(F2, 5000, 5)
+	for i := 0; i < tbl.NumRecords(); i++ {
+		salary := tbl.Value(i, AttrSalary)
+		commission := tbl.Value(i, AttrCommission)
+		if salary >= 75_000 && commission != 0 {
+			t.Fatalf("record %d: salary %v with commission %v", i, salary, commission)
+		}
+		if salary < 75_000 && (commission < 10_000 || commission > 75_000) {
+			t.Fatalf("record %d: commission %v outside [10k,75k]", i, commission)
+		}
+	}
+}
+
+func TestNoiseFlipsLabels(t *testing.T) {
+	noisy := dataset.MustNew(Schema())
+	if err := GenerateTo(noisy, FPaper, 2000, 9, Options{Noise: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	// Count labels disagreeing with the deterministic rule.
+	flips := 0
+	for i := 0; i < noisy.NumRecords(); i++ {
+		row := noisy.Row(i)
+		want := 1
+		if row[AttrAge] >= 40 && row[AttrSalary]+row[AttrCommission] >= 100_000 {
+			want = 0
+		}
+		if noisy.Label(i) != want {
+			flips++
+		}
+	}
+	if flips < 450 || flips > 750 {
+		t.Errorf("%d/2000 labels flipped, expected about 600", flips)
+	}
+}
+
+func TestParseFunc(t *testing.T) {
+	cases := map[string]Func{"1": F1, "7": F7, "F3": F3, "f": FPaper, "paper": FPaper}
+	for in, want := range cases {
+		got, err := ParseFunc(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFunc(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"0", "11", "nope", ""} {
+		if _, err := ParseFunc(bad); err == nil {
+			t.Errorf("ParseFunc(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStatlogShapes(t *testing.T) {
+	want := map[string]struct{ n, attrs, classes int }{
+		"letter":   {15000, 16, 26},
+		"satimage": {4435, 36, 6},
+		"segment":  {2310, 19, 7},
+		"shuttle":  {43500, 9, 7},
+	}
+	for _, name := range StatlogNames() {
+		tbl, err := Statlog(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[name]
+		if tbl.NumRecords() != w.n || tbl.Schema().NumAttrs() != w.attrs ||
+			tbl.Schema().NumClasses() != w.classes {
+			t.Errorf("%s: got %d records, %d attrs, %d classes; want %+v",
+				name, tbl.NumRecords(), tbl.Schema().NumAttrs(), tbl.Schema().NumClasses(), w)
+		}
+		counts := tbl.ClassCounts()
+		nonEmpty := 0
+		for _, c := range counts {
+			if c > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < w.classes/2 {
+			t.Errorf("%s: only %d/%d classes populated", name, nonEmpty, w.classes)
+		}
+		if n, err := StatlogSize(name); err != nil || n != w.n {
+			t.Errorf("StatlogSize(%s) = %d, %v", name, n, err)
+		}
+	}
+	if _, err := Statlog("nope", 1); err == nil {
+		t.Error("unknown statlog dataset accepted")
+	}
+}
+
+func TestShuttleSkewed(t *testing.T) {
+	tbl, err := Statlog("shuttle", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tbl.ClassCounts()
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 0.4*float64(tbl.NumRecords()) {
+		t.Errorf("shuttle stand-in should be class-skewed; max class holds %d/%d", max, tbl.NumRecords())
+	}
+}
+
+// TestRuleFidelityAllFunctions verifies the generator against independent
+// re-implementations of each Agrawal predicate.
+func TestRuleFidelityAllFunctions(t *testing.T) {
+	between := func(v, lo, hi float64) bool { return v >= lo && v <= hi }
+	rules := map[Func]func(r []float64) bool{
+		F4: func(r []float64) bool {
+			age, sal, el := r[AttrAge], r[AttrSalary], int(r[AttrElevel])
+			switch {
+			case age < 40:
+				if el <= 1 {
+					return between(sal, 25000, 75000)
+				}
+				return between(sal, 50000, 100000)
+			case age < 60:
+				if el >= 1 && el <= 3 {
+					return between(sal, 50000, 100000)
+				}
+				return between(sal, 75000, 125000)
+			default:
+				if el >= 2 {
+					return between(sal, 50000, 100000)
+				}
+				return between(sal, 25000, 75000)
+			}
+		},
+		F5: func(r []float64) bool {
+			age, sal, loan := r[AttrAge], r[AttrSalary], r[AttrLoan]
+			switch {
+			case age < 40:
+				if between(sal, 50000, 100000) {
+					return between(loan, 100000, 300000)
+				}
+				return between(loan, 200000, 400000)
+			case age < 60:
+				if between(sal, 75000, 125000) {
+					return between(loan, 200000, 400000)
+				}
+				return between(loan, 300000, 500000)
+			default:
+				if between(sal, 25000, 75000) {
+					return between(loan, 300000, 500000)
+				}
+				return between(loan, 100000, 300000)
+			}
+		},
+		F8: func(r []float64) bool {
+			return 0.67*(r[AttrSalary]+r[AttrCommission])-5000*r[AttrElevel]-20000 > 0
+		},
+		F9: func(r []float64) bool {
+			return 0.67*(r[AttrSalary]+r[AttrCommission])-5000*r[AttrElevel]-0.2*r[AttrLoan]-10000 > 0
+		},
+		F10: func(r []float64) bool {
+			equity := 0.0
+			if r[AttrHyears] >= 20 {
+				equity = 0.1 * r[AttrHvalue] * (r[AttrHyears] - 20)
+			}
+			return 0.67*(r[AttrSalary]+r[AttrCommission])-5000*r[AttrElevel]+0.2*equity-10000 > 0
+		},
+	}
+	for fn, rule := range rules {
+		tbl := Generate(fn, 1500, 21)
+		for i := 0; i < tbl.NumRecords(); i++ {
+			want := 1
+			if rule(tbl.Row(i)) {
+				want = 0
+			}
+			if tbl.Label(i) != want {
+				t.Fatalf("%v record %d: label %d, rule says %d", fn, i, tbl.Label(i), want)
+			}
+		}
+	}
+}
+
+func TestHvalueDependsOnZipcode(t *testing.T) {
+	tbl := Generate(F1, 5000, 13)
+	for i := 0; i < tbl.NumRecords(); i++ {
+		z := tbl.Value(i, AttrZipcode) + 1
+		hv := tbl.Value(i, AttrHvalue)
+		if hv < z*50000 || hv > z*100000 {
+			t.Fatalf("record %d: hvalue %v outside [%v, %v] for zipcode %v",
+				i, hv, z*50000, z*100000, z-1)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Importance returns the gini importance of every attribute: the total
+// training-weighted impurity decrease contributed by each attribute's
+// splits, normalized to sum to 1 (all zeros for a single leaf). Linear
+// splits credit both participating attributes equally.
+func (t *Tree) Importance() []float64 {
+	na := t.Schema.NumAttrs()
+	imp := make([]float64, na)
+	total := 0.0
+	t.Walk(func(n *Node, _ int) {
+		if n.IsLeaf() || n.Left == nil || n.Right == nil || n.N == 0 {
+			return
+		}
+		childImpurity := 0.0
+		for _, c := range []*Node{n.Left, n.Right} {
+			if c.N > 0 {
+				childImpurity += float64(c.N) / float64(n.N) * c.Gini
+			}
+		}
+		gain := (n.Gini - childImpurity) * float64(n.N)
+		if gain <= 0 {
+			return
+		}
+		total += gain
+		switch n.Split.Kind {
+		case SplitLinear:
+			imp[n.Split.AttrX] += gain / 2
+			imp[n.Split.AttrY] += gain / 2
+		default:
+			imp[n.Split.Attr] += gain
+		}
+	})
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// WriteDOT renders the tree in Graphviz DOT format for visualization.
+func (t *Tree) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph cmpdt {\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	id := 0
+	var emit func(n *Node) int
+	emit = func(n *Node) int {
+		my := id
+		id++
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "  n%d [label=%q, style=filled, fillcolor=lightgrey];\n",
+				my, fmt.Sprintf("%s\nn=%d errs=%d", t.Schema.Classes[n.Class], n.N, n.Errors()))
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", my,
+			fmt.Sprintf("%s\nn=%d gini=%.3f", n.Split.Describe(t.Schema), n.N, n.Gini))
+		l := emit(n.Left)
+		r := emit(n.Right)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"yes\"];\n", my, l)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"no\"];\n", my, r)
+		return my
+	}
+	emit(t.Root)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PathFor returns the sequence of split descriptions a record follows from
+// the root to its leaf — an explanation of the prediction.
+func (t *Tree) PathFor(vals []float64) []string {
+	var path []string
+	n := t.Root
+	for !n.IsLeaf() {
+		desc := n.Split.Describe(t.Schema)
+		if n.Split.GoesLeft(vals) {
+			path = append(path, desc)
+			n = n.Left
+		} else {
+			path = append(path, "NOT "+desc)
+			n = n.Right
+		}
+	}
+	path = append(path, "=> "+t.Schema.Classes[n.Class])
+	return path
+}

@@ -1,0 +1,105 @@
+package tree
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func countedTestTree() *Tree {
+	// Root splits on attr 0 (perfectly), left child splits on attr 1 (does
+	// nothing useful — same distributions both sides).
+	leafA := &Node{}
+	leafA.SetCounts([]int{50, 0})
+	leafB := &Node{}
+	leafB.SetCounts([]int{50, 0})
+	inner := &Node{
+		Split: &Split{Kind: SplitNumeric, Attr: 1, Threshold: 2},
+		Left:  leafA, Right: leafB,
+	}
+	inner.SetCounts([]int{100, 0})
+	right := &Node{}
+	right.SetCounts([]int{0, 100})
+	root := &Node{
+		Split: &Split{Kind: SplitNumeric, Attr: 0, Threshold: 5},
+		Left:  inner, Right: right,
+	}
+	root.SetCounts([]int{100, 100})
+	return &Tree{Root: root, Schema: testSchema()}
+}
+
+func TestImportance(t *testing.T) {
+	tr := countedTestTree()
+	imp := tr.Importance()
+	if len(imp) != 3 {
+		t.Fatalf("len = %d", len(imp))
+	}
+	// Attr 0 does all the work; attr 1's split has zero gain.
+	if math.Abs(imp[0]-1) > 1e-9 || imp[1] != 0 || imp[2] != 0 {
+		t.Errorf("importance = %v, want [1 0 0]", imp)
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// A lone leaf has no importance.
+	lone := &Tree{Root: leafNode(3, 4), Schema: testSchema()}
+	for _, v := range lone.Importance() {
+		if v != 0 {
+			t.Error("leaf tree has nonzero importance")
+		}
+	}
+}
+
+func leafNode(counts ...int) *Node {
+	n := &Node{}
+	n.SetCounts(counts)
+	return n
+}
+
+func TestImportanceLinearSplitsShared(t *testing.T) {
+	left := leafNode(50, 0)
+	right := leafNode(0, 50)
+	root := &Node{
+		Split: &Split{Kind: SplitLinear, AttrX: 0, AttrY: 1, A: 1, B: 1, C: 5},
+		Left:  left, Right: right,
+	}
+	root.SetCounts([]int{50, 50})
+	tr := &Tree{Root: root, Schema: testSchema()}
+	imp := tr.Importance()
+	if math.Abs(imp[0]-0.5) > 1e-9 || math.Abs(imp[1]-0.5) > 1e-9 {
+		t.Errorf("linear split importance = %v, want [0.5 0.5 0]", imp)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := countedTestTree()
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "x <= 5") {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+	// 5 nodes, 4 edges.
+	if strings.Count(out, "->") != 4 {
+		t.Errorf("edge count %d, want 4", strings.Count(out, "->"))
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	tr := countedTestTree()
+	path := tr.PathFor([]float64{3, 1, 0})
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[0] != "x <= 5" || path[1] != "y <= 2" || !strings.HasPrefix(path[2], "=> ") {
+		t.Errorf("path = %v", path)
+	}
+	path = tr.PathFor([]float64{9, 1, 0})
+	if path[0] != "NOT x <= 5" {
+		t.Errorf("negated step = %q", path[0])
+	}
+}

@@ -1,0 +1,92 @@
+package tree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildTestTree()
+	tr.Walk(func(n *Node, _ int) { n.SetCounts([]int{3, 4}) })
+	// Add a linear and a categorical split for full coverage.
+	tr.Root.Right = &Node{
+		Split: &Split{Kind: SplitLinear, AttrX: 0, AttrY: 1, A: 1, B: 0.5, C: 7},
+		Left:  &Node{Class: 1, N: 2, ClassCounts: []int{0, 2}},
+		Right: &Node{
+			Split: &Split{Kind: SplitCategorical, Attr: 2, Subset: 0b011},
+			Left:  &Node{Class: 0, N: 1, ClassCounts: []int{1, 0}},
+			Right: &Node{Class: 1, N: 1, ClassCounts: []int{0, 1}},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tr.String() {
+		t.Errorf("round trip changed the tree:\n--- original\n%s--- decoded\n%s", tr, back)
+	}
+	// Predictions must agree everywhere.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		vals := []float64{rng.Float64() * 10, rng.Float64() * 10, float64(rng.Intn(3))}
+		if tr.Predict(vals) != back.Predict(vals) {
+			t.Fatalf("prediction mismatch at %v", vals)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{"format":"other","version":1}`,
+		`{"format":"cmpdt-tree","version":99}`,
+		`{"format":"cmpdt-tree","version":1}`, // no schema
+		`{"format":"cmpdt-tree","version":1,"schema":{"Attrs":[{"Name":"x"}],"Classes":["a","b"]}}`, // no root
+	}
+	for i, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadJSONValidatesStructure(t *testing.T) {
+	schema := `"schema":{"Attrs":[{"Name":"x","Kind":0},{"Name":"c","Kind":1,"Values":["u","v"]}],"Classes":["a","b"]}`
+	cases := []string{
+		// Class out of range.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":5}}`,
+		// Leaf with a child.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"left":{"class":0}}}`,
+		// Internal node missing a child.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"split":{"kind":"numeric","attr":0},"left":{"class":0}}}`,
+		// Unknown split kind.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"split":{"kind":"magic","attr":0},"left":{"class":0},"right":{"class":1}}}`,
+		// Split attribute out of range.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"split":{"kind":"numeric","attr":9},"left":{"class":0},"right":{"class":1}}}`,
+		// Categorical split on a numeric attribute.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"split":{"kind":"categorical","attr":0},"left":{"class":0},"right":{"class":1}}}`,
+		// Linear split attribute out of range.
+		`{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"split":{"kind":"linear","attr_x":7,"attr_y":0},"left":{"class":0},"right":{"class":1}}}`,
+	}
+	for i, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("structure case %d accepted", i)
+		}
+	}
+	// A valid minimal model decodes.
+	ok := `{"format":"cmpdt-tree","version":1,` + schema + `,"root":{"class":0,"split":{"kind":"numeric","attr":0,"threshold":5},"left":{"class":0},"right":{"class":1}}}`
+	tr, err := ReadJSON(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if tr.Predict([]float64{3, 0}) != 0 || tr.Predict([]float64{7, 0}) != 1 {
+		t.Error("decoded model predicts wrong")
+	}
+}

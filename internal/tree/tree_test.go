@@ -1,0 +1,197 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cmpdt/internal/dataset"
+)
+
+func testSchema() *dataset.Schema {
+	return &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Numeric},
+			{Name: "y", Kind: dataset.Numeric},
+			{Name: "color", Kind: dataset.Categorical, Values: []string{"r", "g", "b"}},
+		},
+		Classes: []string{"no", "yes"},
+	}
+}
+
+func TestSplitGoesLeft(t *testing.T) {
+	num := &Split{Kind: SplitNumeric, Attr: 0, Threshold: 5}
+	if !num.GoesLeft([]float64{5, 0, 0}) || num.GoesLeft([]float64{5.1, 0, 0}) {
+		t.Error("numeric split semantics wrong (<=)")
+	}
+	cat := &Split{Kind: SplitCategorical, Attr: 2, Subset: 0b101} // r and b left
+	if !cat.GoesLeft([]float64{0, 0, 0}) || cat.GoesLeft([]float64{0, 0, 1}) ||
+		!cat.GoesLeft([]float64{0, 0, 2}) {
+		t.Error("categorical split semantics wrong")
+	}
+	lin := &Split{Kind: SplitLinear, AttrX: 0, AttrY: 1, A: 1, B: 2, C: 10}
+	if !lin.GoesLeft([]float64{2, 4, 0}) || lin.GoesLeft([]float64{3, 4, 0}) {
+		t.Error("linear split semantics wrong (a*x+b*y <= c)")
+	}
+}
+
+func TestSplitDescribe(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		split *Split
+		want  string
+	}{
+		{&Split{Kind: SplitNumeric, Attr: 0, Threshold: 5}, "x <= 5"},
+		{&Split{Kind: SplitCategorical, Attr: 2, Subset: 0b011}, "color in {r,g}"},
+	}
+	for _, c := range cases {
+		if got := c.split.Describe(s); got != c.want {
+			t.Errorf("Describe = %q, want %q", got, c.want)
+		}
+	}
+	lin := &Split{Kind: SplitLinear, AttrX: 0, AttrY: 1, A: 1, B: 0.93, C: 95796}
+	if d := lin.Describe(s); !strings.Contains(d, "x") || !strings.Contains(d, "y") ||
+		!strings.Contains(d, "<=") {
+		t.Errorf("linear Describe = %q", d)
+	}
+}
+
+func buildTestTree() *Tree {
+	// x <= 5 ? (y <= 2 ? yes : no) : no
+	leafYes := &Node{Class: 1}
+	leafNo1 := &Node{Class: 0}
+	leafNo2 := &Node{Class: 0}
+	inner := &Node{
+		Split: &Split{Kind: SplitNumeric, Attr: 1, Threshold: 2},
+		Left:  leafYes, Right: leafNo1,
+	}
+	root := &Node{
+		Split: &Split{Kind: SplitNumeric, Attr: 0, Threshold: 5},
+		Left:  inner, Right: leafNo2,
+	}
+	return &Tree{Root: root, Schema: testSchema()}
+}
+
+func TestPredictAndShape(t *testing.T) {
+	tr := buildTestTree()
+	cases := []struct {
+		vals []float64
+		want int
+	}{
+		{[]float64{4, 1, 0}, 1},
+		{[]float64{4, 3, 0}, 0},
+		{[]float64{6, 1, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := tr.Predict(c.vals); got != c.want {
+			t.Errorf("Predict(%v) = %d, want %d", c.vals, got, c.want)
+		}
+	}
+	if tr.Size() != 5 || tr.Leaves() != 3 || tr.Depth() != 2 {
+		t.Errorf("shape: size=%d leaves=%d depth=%d, want 5/3/2", tr.Size(), tr.Leaves(), tr.Depth())
+	}
+	if tr.CountLinearSplits() != 0 {
+		t.Error("no linear splits expected")
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	tr := buildTestTree()
+	visited := 0
+	maxDepth := 0
+	tr.Walk(func(n *Node, d int) {
+		visited++
+		if d > maxDepth {
+			maxDepth = d
+		}
+	})
+	if visited != 5 || maxDepth != 2 {
+		t.Errorf("walk visited %d nodes to depth %d", visited, maxDepth)
+	}
+}
+
+func TestSetCountsAndErrors(t *testing.T) {
+	n := &Node{}
+	n.SetCounts([]int{3, 7})
+	if n.N != 10 || n.Class != 1 || n.Errors() != 3 {
+		t.Errorf("SetCounts: N=%d Class=%d Errors=%d", n.N, n.Class, n.Errors())
+	}
+	if g := n.Gini; g < 0.41 || g > 0.43 {
+		t.Errorf("Gini = %v, want 0.42", g)
+	}
+	n.SetCounts([]int{0, 0})
+	if n.Gini != 0 || n.N != 0 {
+		t.Error("empty counts mishandled")
+	}
+}
+
+func TestStringRendersEveryLeaf(t *testing.T) {
+	tr := buildTestTree()
+	tr.Walk(func(n *Node, _ int) { n.SetCounts([]int{1, 1}) })
+	out := tr.String()
+	if strings.Count(out, "leaf:") != 3 {
+		t.Errorf("rendered %d leaves, want 3:\n%s", strings.Count(out, "leaf:"), out)
+	}
+	if !strings.Contains(out, "x <= 5") || !strings.Contains(out, "y <= 2") {
+		t.Errorf("splits missing from render:\n%s", out)
+	}
+}
+
+// TestPredictPartitionProperty: every record lands in exactly one leaf, and
+// following the splits by hand agrees with Predict.
+func TestPredictPartitionProperty(t *testing.T) {
+	tr := buildTestTree()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		vals := []float64{rng.Float64() * 10, rng.Float64() * 5, float64(rng.Intn(3))}
+		n := tr.Root
+		for !n.IsLeaf() {
+			if n.Split.GoesLeft(vals) {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+		if got := tr.Predict(vals); got != n.Class {
+			t.Fatalf("Predict(%v) = %d, manual walk says %d", vals, got, n.Class)
+		}
+	}
+}
+
+func TestCountLinearSplits(t *testing.T) {
+	tr := buildTestTree()
+	tr.Root.Split = &Split{Kind: SplitLinear, AttrX: 0, AttrY: 1, A: 1, B: 1, C: 10}
+	if tr.CountLinearSplits() != 1 {
+		t.Error("linear split not counted")
+	}
+}
+
+func TestPredictMissingValues(t *testing.T) {
+	tr := buildTestTree()
+	// Give the children asymmetric training weights.
+	tr.Root.Left.N = 900
+	tr.Root.Right.N = 100
+	tr.Root.Left.Left.N = 10
+	tr.Root.Left.Right.N = 890
+	// Missing x at the root: majority says left; then y=NaN: majority says
+	// the inner right leaf (class 0).
+	got := tr.Predict([]float64{math.NaN(), math.NaN(), 0})
+	if got != tr.Root.Left.Right.Class {
+		t.Errorf("missing-value prediction = %d, want majority path class %d",
+			got, tr.Root.Left.Right.Class)
+	}
+	// A present value still routes normally.
+	if tr.Predict([]float64{4, 1, 0}) != 1 {
+		t.Error("present-value routing broke")
+	}
+	// Missing value on a linear split.
+	lin := &Tree{Root: &Node{
+		Split: &Split{Kind: SplitLinear, AttrX: 0, AttrY: 1, A: 1, B: 1, C: 5},
+		Left:  &Node{Class: 1, N: 5},
+		Right: &Node{Class: 0, N: 95},
+	}, Schema: testSchema()}
+	if lin.Predict([]float64{math.NaN(), 2, 0}) != 0 {
+		t.Error("linear split missing-value fallback wrong")
+	}
+}
