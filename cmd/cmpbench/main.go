@@ -33,6 +33,7 @@ func main() {
 	n := flag.Int("n", 0, "override the Table 1 record count for the Agrawal rows")
 	sizes := flag.String("sizes", "", "override sweep sizes, comma-separated (e.g. 50000,100000)")
 	intervals := flag.Int("intervals", 100, "equal-depth intervals per attribute")
+	workers := flag.Int("workers", 0, "build parallelism for the CMP family (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of aligned tables")
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 		}
 	}
 	opts.Intervals = *intervals
+	opts.Eval.Workers = *workers
 	opts.Seed = *seed
 	opts.UseDisk = *disk
 	opts.Dir = *dir

@@ -26,6 +26,7 @@ func main() {
 	alive := flag.Int("alive", 2, "maximum alive intervals per split")
 	allPairs := flag.Bool("all-pairs", false, "full CMP: matrices for every numeric attribute pair")
 	noPrune := flag.Bool("no-prune", false, "disable MDL pruning")
+	workers := flag.Int("workers", 0, "build parallelism for the CMP family (0 = GOMAXPROCS, 1 = serial; any value yields the identical tree)")
 	seed := flag.Int64("seed", 1, "training seed")
 	quiet := flag.Bool("quiet", false, "suppress the tree printout")
 	save := flag.String("save", "", "write the trained model as JSON to this path")
@@ -45,6 +46,7 @@ func main() {
 		MaxAlive:        *alive,
 		ObliqueAllPairs: *allPairs,
 		PruneOff:        *noPrune,
+		Workers:         *workers,
 		Seed:            *seed,
 	}
 	res, tree, err := eval.Run(*algo, src, nil, nil, opts)

@@ -197,6 +197,10 @@ type Config struct {
 	// ObliqueAllPairs extends full CMP with matrices over every numeric
 	// attribute pair, lifting the paper's N-1-matrices limitation.
 	ObliqueAllPairs bool
+	// Workers is the number of goroutines used for the per-round scan and
+	// for split resolution (default GOMAXPROCS; 1 forces the serial path).
+	// The trained tree is bit-identical for every worker count.
+	Workers int
 	// Seed drives sampling and the root's random X-axis (default 1).
 	Seed int64
 }
@@ -217,6 +221,9 @@ func (c Config) internal() core.Config {
 	}
 	cfg.Prune = !c.DisablePruning
 	cfg.ObliqueAllPairs = c.ObliqueAllPairs
+	if c.Workers != 0 {
+		cfg.Workers = c.Workers
+	}
 	if c.Seed != 0 {
 		cfg.Seed = c.Seed
 	}
@@ -406,6 +413,7 @@ func CrossValidate(ds *Dataset, cfg Config, k int) (accuracies []float64, mean f
 		PruneOff:            cfg.DisablePruning,
 		Seed:                cfg.Seed,
 		MaxDepth:            cfg.MaxDepth,
+		Workers:             cfg.Workers,
 	}
 	cv, err := eval.CrossValidate(algoName, ds.tbl, k, opts)
 	if err != nil {

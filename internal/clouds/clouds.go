@@ -222,9 +222,9 @@ type cbuilder struct {
 	all      []*cnode
 	frontier []*cnode
 	collects []*cnode
-	root  *cnode
-	level int
-	st    Stats
+	root     *cnode
+	level    int
+	st       Stats
 }
 
 func (b *cbuilder) init() error {

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// benchBuild trains full CMP over 100k Agrawal F2 records with the given
+// worker count. Compare BenchmarkBuildSerial with BenchmarkBuildParallel on
+// a multi-core machine to measure the worker-pool speedup; the trees are
+// bit-identical either way (TestParallelBuildDeterminism).
+func benchBuild(b *testing.B, workers int) {
+	tbl := synth.Generate(synth.F2, 100_000, 7)
+	src := storage.NewMem(tbl)
+	cfg := Default(CMPFull)
+	cfg.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.ResetStats()
+		if _, err := Build(src, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSerial(b *testing.B) { benchBuild(b, 1) }
+
+func BenchmarkBuildParallel(b *testing.B) { benchBuild(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkParallelScan isolates the sharded-scan layer: one full pass of
+// 200k records through ParallelScan, serial vs GOMAXPROCS workers.
+func BenchmarkParallelScan(b *testing.B) {
+	tbl := synth.Generate(synth.F2, 200_000, 7)
+	src := storage.NewMem(tbl)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		name := "serial"
+		if workers > 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sums := make([]int64, workers)
+				err := storage.ParallelScan(src, workers, func(worker, rid int, vals []float64, label int) error {
+					sums[worker] += int64(label)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

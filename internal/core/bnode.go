@@ -31,6 +31,47 @@ const (
 	stDone
 )
 
+// histSet is one node's histogram storage. During a parallel scan every
+// worker fills a private histSet of the same shape (one per touched node),
+// and the shards are merged into the node's own set in worker-index order,
+// so counts land identically to a serial scan. CMP-S fills hists for every
+// attribute; CMP-B/CMP fill mats for numeric attributes (all sharing the
+// node's X-axis) and hists for categorical attributes only.
+type histSet struct {
+	hists []*histogram.Hist1D
+	mats  []*histogram.Matrix // indexed by Y attribute; nil at xAttr and categoricals
+	// pairMats (ObliqueAllPairs extension) holds matrices for numeric
+	// attribute pairs not covered by mats, parallel to builder.pairs.
+	pairMats []*histogram.Matrix
+}
+
+// merge adds other's counts into hs. Shapes must match (both sets were
+// allocated from the same node geometry).
+func (hs *histSet) merge(other *histSet) {
+	for a, h := range other.hists {
+		if h != nil {
+			hs.hists[a].Merge(h)
+		}
+	}
+	for a, m := range other.mats {
+		if m != nil {
+			hs.mats[a].Merge(m)
+		}
+	}
+	for pi, m := range other.pairMats {
+		if m != nil {
+			hs.pairMats[pi].Merge(m)
+		}
+	}
+}
+
+// dropHists releases histogram storage once it is no longer needed.
+func (hs *histSet) dropHists() {
+	hs.hists = nil
+	hs.mats = nil
+	hs.pairMats = nil
+}
+
 // bnode is a node of the tree under construction, carrying the histogram
 // and buffering state the final tree.Node does not need.
 type bnode struct {
@@ -49,15 +90,9 @@ type bnode struct {
 	// not degrade with depth.
 	disc []*quantile.Discretizer
 
-	// Histogram state (stBuilding). CMP-S fills hists for every attribute;
-	// CMP-B/CMP fill mats for numeric attributes (all sharing the X-axis
-	// attribute xAttr) and hists for categorical attributes only.
-	hists []*histogram.Hist1D
-	mats  []*histogram.Matrix // indexed by Y attribute; nil at xAttr and categoricals
-	xAttr int                 // CMP-B/CMP predicted X-axis; -1 for CMP-S
-	// pairMats (ObliqueAllPairs extension) holds matrices for numeric
-	// attribute pairs not covered by mats, parallel to builder.pairs.
-	pairMats []*histogram.Matrix
+	// Histogram state (stBuilding).
+	histSet
+	xAttr int // CMP-B/CMP predicted X-axis; -1 for CMP-S
 
 	// Pending-split state (stPending).
 	pending *pendingSplit
@@ -127,14 +162,35 @@ type buffer struct {
 	vals   []float64
 	rids   []int32
 	labels []int32
+	// sortedBy caches the attribute the buffer is currently sorted by (-1:
+	// none), letting the parallel resolution pre-pass sort buffers across
+	// the worker pool without resolvePending redundantly re-sorting them.
+	sortedBy int
 }
 
-func (b *buffer) init(k int) { b.k = k }
+func (b *buffer) init(k int) {
+	b.k = k
+	b.sortedBy = -1
+}
 
 func (b *buffer) add(rid int, vals []float64, label int) {
 	b.vals = append(b.vals, vals...)
 	b.rids = append(b.rids, int32(rid))
 	b.labels = append(b.labels, int32(label))
+	b.sortedBy = -1
+}
+
+// appendFrom appends every record of o, preserving o's order. Merging
+// per-worker shard buffers in worker-index order reproduces exactly the
+// record order a serial scan would have buffered.
+func (b *buffer) appendFrom(o *buffer) {
+	if o.Len() == 0 {
+		return
+	}
+	b.vals = append(b.vals, o.vals...)
+	b.rids = append(b.rids, o.rids...)
+	b.labels = append(b.labels, o.labels...)
+	b.sortedBy = -1
 }
 
 // Len returns the number of buffered records.
@@ -157,11 +213,19 @@ func (b *buffer) reset() {
 	b.vals = b.vals[:0]
 	b.rids = b.rids[:0]
 	b.labels = b.labels[:0]
+	b.sortedBy = -1
 }
 
-// sortByAttr orders the buffer ascending by attribute a.
+// sortByAttr orders the buffer ascending by attribute a. A no-op when the
+// buffer is already sorted by a (e.g. by the parallel pre-sort pass), which
+// keeps the result bit-identical: the same deterministic sort runs exactly
+// once on the same input either way.
 func (b *buffer) sortByAttr(a int) {
+	if b.sortedBy == a {
+		return
+	}
 	sort.Sort(&bufferSorter{b: b, attr: a})
+	b.sortedBy = a
 }
 
 type bufferSorter struct {
@@ -208,13 +272,6 @@ func (n *bnode) histMemoryBytes() int64 {
 		}
 	}
 	return total
-}
-
-// dropHists releases histogram storage once a node no longer needs it.
-func (n *bnode) dropHists() {
-	n.hists = nil
-	n.mats = nil
-	n.pairMats = nil
 }
 
 // classTotals returns the per-class record counts currently accounted to

@@ -254,58 +254,75 @@ func (b *builder) newBnode(depth int, disc []*quantile.Discretizer, xAttr int) *
 
 // allocHists gives a building node its empty histograms.
 func (b *builder) allocHists(n *bnode) {
+	n.histSet = b.makeHists(n.disc, n.xAttr)
+}
+
+// makeHists allocates the empty histogram set a building node with the
+// given discretizers and X-axis fills during a scan. Parallel scan workers
+// call it again with the same geometry to get per-worker shards.
+func (b *builder) makeHists(disc []*quantile.Discretizer, xAttr int) histSet {
+	var hs histSet
 	if b.useMats {
-		n.mats = make([]*histogram.Matrix, b.na)
-		xb := n.disc[n.xAttr].Bins()
+		hs.mats = make([]*histogram.Matrix, b.na)
+		xb := disc[xAttr].Bins()
 		for _, y := range b.numeric {
-			if y == n.xAttr {
+			if y == xAttr {
 				continue
 			}
-			n.mats[y] = histogram.NewMatrix(xb, n.disc[y].Bins(), b.nc)
+			hs.mats[y] = histogram.NewMatrix(xb, disc[y].Bins(), b.nc)
 		}
-		n.hists = make([]*histogram.Hist1D, b.na)
+		hs.hists = make([]*histogram.Hist1D, b.na)
 		for a := 0; a < b.na; a++ {
 			if b.schema.Attrs[a].Kind == dataset.Categorical {
-				n.hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
+				hs.hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
 			}
 		}
 		if len(b.numeric) == 1 {
 			// Degenerate: a single numeric attribute cannot form a matrix.
 			a := b.numeric[0]
-			n.hists[a] = histogram.New1D(n.disc[a].Bins(), b.nc)
-			n.mats = nil
+			hs.hists[a] = histogram.New1D(disc[a].Bins(), b.nc)
+			hs.mats = nil
 		}
-		if b.pairs != nil && n.mats != nil {
+		if b.pairs != nil && hs.mats != nil {
 			// Pair matrices feed the oblique line search; the refinement
 			// step needs full discretizer resolution or the fitted line's
 			// offset error leaves impure children behind.
-			n.pairMats = make([]*histogram.Matrix, len(b.pairs))
+			hs.pairMats = make([]*histogram.Matrix, len(b.pairs))
 			for pi, pr := range b.pairs {
-				if pr[0] == n.xAttr || pr[1] == n.xAttr {
+				if pr[0] == xAttr || pr[1] == xAttr {
 					continue // already covered by mats
 				}
-				n.pairMats[pi] = histogram.NewMatrix(n.disc[pr[0]].Bins(), n.disc[pr[1]].Bins(), b.nc)
+				hs.pairMats[pi] = histogram.NewMatrix(disc[pr[0]].Bins(), disc[pr[1]].Bins(), b.nc)
 			}
 		}
-		return
+		return hs
 	}
-	n.hists = make([]*histogram.Hist1D, b.na)
+	hs.hists = make([]*histogram.Hist1D, b.na)
 	for a := 0; a < b.na; a++ {
 		if b.schema.Attrs[a].Kind == dataset.Categorical {
-			n.hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
+			hs.hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
 		} else {
-			n.hists[a] = histogram.New1D(n.disc[a].Bins(), b.nc)
+			hs.hists[a] = histogram.New1D(disc[a].Bins(), b.nc)
 		}
 	}
+	return hs
 }
 
 func (b *builder) hasWork() bool {
 	return len(b.scanned) > 0 || len(b.pendings) > 0 || len(b.collects) > 0
 }
 
-// scan performs one sequential pass, routing every record to its place:
-// histogram update, alive-interval buffer, collect buffer, or settled leaf.
+// scan performs one pass over the training set, routing every record to its
+// place: histogram update, alive-interval buffer, collect buffer, or settled
+// leaf. With Workers > 1 and a range-scannable source the pass is sharded
+// across the worker pool (see scanParallel); the serial pass below is the
+// reference behavior the parallel one reproduces bit-identically.
 func (b *builder) scan() error {
+	if b.cfg.Workers > 1 {
+		if rs, ok := b.src.(storage.RangeSource); ok {
+			return b.scanParallel(rs)
+		}
+	}
 	err := b.src.Scan(func(rid int, vals []float64, label int) error {
 		b.route(b.nodes[b.nid[rid]], rid, vals, label)
 		return nil
@@ -313,12 +330,18 @@ func (b *builder) scan() error {
 	if err != nil {
 		return err
 	}
+	b.finishScan()
+	return nil
+}
+
+// finishScan updates the per-scan counters shared by the serial and
+// parallel passes.
+func (b *builder) finishScan() {
 	b.stats.Scans++
 	b.stats.Rounds++
 	// The paper swaps the nid array to disk: one read and one write of
 	// 4 bytes per record per scan.
 	b.stats.NidBytesIO += 8 * int64(len(b.nid))
-	return nil
 }
 
 // route walks a record down from start through resolved splits and pending
@@ -327,6 +350,15 @@ func (b *builder) scan() error {
 // retired by merges, reverts or pruning) resolve through their successor
 // chain first.
 func (b *builder) route(start *bnode, rid int, vals []float64, label int) {
+	b.routeTo(nil, start, rid, vals, label)
+}
+
+// routeTo is route with an optional per-worker shard: when sh is non-nil
+// the terminal write (histogram count or buffer append) lands in the
+// shard's private storage instead of the node's, so concurrent workers
+// never touch shared counts. The walk itself only reads state that is
+// frozen during a scan.
+func (b *builder) routeTo(sh *scanShard, start *bnode, rid int, vals []float64, label int) {
 	n := start
 	for n.dead && n.succ != nil {
 		n = n.succ
@@ -349,18 +381,32 @@ func (b *builder) route(start *bnode, rid int, vals []float64, label int) {
 		case stPending:
 			region, buffered := n.pending.route(vals[n.pending.attr])
 			if buffered {
-				n.buffer.add(rid, vals, label)
-				b.stats.BufferedRecords++
+				if sh != nil {
+					sh.nodeFor(b, n).buffer.add(rid, vals, label)
+					sh.buffered++
+				} else {
+					n.buffer.add(rid, vals, label)
+					b.stats.BufferedRecords++
+				}
 				b.nid[rid] = n.id
 				return
 			}
 			n = n.children[region]
 		case stCollect:
-			n.buffer.add(rid, vals, label)
+			if sh != nil {
+				sh.nodeFor(b, n).buffer.add(rid, vals, label)
+			} else {
+				n.buffer.add(rid, vals, label)
+			}
 			b.nid[rid] = n.id
 			return
 		default: // stBuilding
-			b.updateHists(n, vals, label)
+			if sh != nil {
+				sn := sh.nodeFor(b, n)
+				b.countInto(&sn.histSet, n.disc, n.xAttr, vals, label)
+			} else {
+				b.updateHists(n, vals, label)
+			}
 			b.nid[rid] = n.id
 			return
 		}
@@ -369,47 +415,66 @@ func (b *builder) route(start *bnode, rid int, vals []float64, label int) {
 
 // updateHists counts one record into a building node's histograms.
 func (b *builder) updateHists(n *bnode, vals []float64, label int) {
-	if n.mats != nil {
-		xb := n.disc[n.xAttr].Interval(vals[n.xAttr])
+	b.countInto(&n.histSet, n.disc, n.xAttr, vals, label)
+}
+
+// countInto counts one record into a histogram set of the given geometry
+// (a node's own set, or a scan worker's private shard of it).
+func (b *builder) countInto(hs *histSet, disc []*quantile.Discretizer, xAttr int, vals []float64, label int) {
+	if hs.mats != nil {
+		xb := disc[xAttr].Interval(vals[xAttr])
 		for _, y := range b.numeric {
-			if y == n.xAttr {
+			if y == xAttr {
 				continue
 			}
-			n.mats[y].Add(xb, n.disc[y].Interval(vals[y]), label)
+			hs.mats[y].Add(xb, disc[y].Interval(vals[y]), label)
 		}
-		for pi, m := range n.pairMats {
+		for pi, m := range hs.pairMats {
 			if m == nil {
 				continue
 			}
 			pr := b.pairs[pi]
-			m.Add(n.disc[pr[0]].Interval(vals[pr[0]]), n.disc[pr[1]].Interval(vals[pr[1]]), label)
+			m.Add(disc[pr[0]].Interval(vals[pr[0]]), disc[pr[1]].Interval(vals[pr[1]]), label)
 		}
 		for a := 0; a < b.na; a++ {
-			if h := n.hists[a]; h != nil {
+			if h := hs.hists[a]; h != nil {
 				h.Add(int(vals[a]), label)
 			}
 		}
 		return
 	}
 	for a := 0; a < b.na; a++ {
-		h := n.hists[a]
+		h := hs.hists[a]
 		if h == nil {
 			continue
 		}
 		if b.schema.Attrs[a].Kind == dataset.Categorical {
 			h.Add(int(vals[a]), label)
 		} else {
-			h.Add(n.disc[a].Interval(vals[a]), label)
+			h.Add(disc[a].Interval(vals[a]), label)
 		}
 	}
 }
 
 // resolveAll resolves every pending split whose buffer the scan just
 // completed, top-down so that buffered records cascade into nested pendings
-// before those are resolved in turn.
+// before those are resolved in turn. The expensive node-local half of each
+// resolution — sorting the alive-gap buffer by the split attribute — is
+// fanned across the worker pool first; top-level pendings live in disjoint
+// subtrees, so their buffers sort independently, and the sortedBy marker
+// makes resolvePending's own sort a no-op on exactly the same ordering.
+// (Nested pendings receive records during resolution and sort serially.)
 func (b *builder) resolveAll() {
 	pend := b.pendings
 	b.pendings = nil
+	if b.cfg.Workers > 1 && len(pend) > 1 {
+		b.parallelDo(len(pend), func(i int) {
+			p := pend[i]
+			if !p.dead && p.state == stPending && p.pending != nil {
+				p.buffer.sortByAttr(p.pending.attr)
+			}
+		})
+	}
 	for _, p := range pend {
 		b.resolvePending(p)
 	}
@@ -762,9 +827,11 @@ func (b *builder) retire(n *bnode, to *bnode) {
 
 // finishCollects completes every collect node whose buffer a scan (and any
 // subsequent distribution) has filled, building the rest of its subtree in
-// memory with the exact algorithm.
+// memory with the exact algorithm. Each subtree is a pure function of its
+// own buffer and writes only node-local state, so ready nodes fan across
+// the worker pool.
 func (b *builder) finishCollects() {
-	var remaining []*bnode
+	var remaining, ready []*bnode
 	for _, c := range b.collects {
 		if c.dead || c.state != stCollect {
 			continue
@@ -773,6 +840,10 @@ func (b *builder) finishCollects() {
 			remaining = append(remaining, c)
 			continue
 		}
+		ready = append(ready, c)
+	}
+	b.parallelDo(len(ready), func(i int) {
+		c := ready[i]
 		sub := exact.BuildSubtree(&c.buffer, b.schema, exact.Config{
 			MinSplitRecords: b.cfg.MinSplitRecords,
 			MaxDepth:        b.cfg.MaxDepth - c.depth,
@@ -783,15 +854,20 @@ func (b *builder) finishCollects() {
 		*c.tn = *sub
 		c.buffer.reset()
 		c.state = stDone
-	}
+	})
 	b.collects = remaining
 }
 
 // decideScanned runs Part II (split selection) on every node whose
-// histograms the scan just completed.
+// histograms the scan just completed. With Workers > 1 the pure per-node
+// evaluations (gini hill-climbing, categorical subset search, oblique
+// intercept walks) run across the pool first; the decisions themselves are
+// applied serially in the original node order, so every builder mutation
+// happens exactly as in a serial build.
 func (b *builder) decideScanned() {
 	toDecide := b.scanned
 	b.scanned = nil
+	ready := toDecide[:0:0]
 	for _, n := range toDecide {
 		if n.dead || n.state != stBuilding {
 			continue
@@ -801,6 +877,19 @@ func (b *builder) decideScanned() {
 			b.scanned = append(b.scanned, n)
 			continue
 		}
+		ready = append(ready, n)
+	}
+	if b.cfg.Workers > 1 && len(ready) > 1 {
+		pres := make([]*decideEval, len(ready))
+		b.parallelDo(len(ready), func(i int) {
+			pres[i] = b.precomputeDecide(ready[i])
+		})
+		for i, n := range ready {
+			b.decideNodeFrom(n, pres[i], decidePrimary)
+		}
+		return
+	}
+	for _, n := range ready {
 		b.decideNode(n, b.viewOf(n), decidePrimary)
 	}
 }

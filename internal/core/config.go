@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"cmpdt/internal/storage"
 	"cmpdt/internal/tree"
@@ -110,6 +111,14 @@ type Config struct {
 	// full pass through bounded-memory Greenwald-Khanna sketches instead of
 	// sampling.
 	DiscretizeSample int
+	// Workers is the number of goroutines used for the per-round data scan
+	// and for split resolution. 1 forces the exact serial code path; zero
+	// selects runtime.GOMAXPROCS(0). The built tree is bit-identical for
+	// every worker count: each worker scans a disjoint record range into
+	// private histogram/buffer shards that are merged in worker-index
+	// order, and node-level resolution work is precomputed from pure
+	// node-local state before being applied in deterministic order.
+	Workers int
 	// Seed drives the discretization sample and the root's random X-axis.
 	Seed int64
 }
@@ -131,6 +140,7 @@ func Default(algo Algorithm) Config {
 		InMemoryNodeRecords: 4096,
 		Prune:               true,
 		DiscretizeSample:    50_000,
+		Workers:             runtime.GOMAXPROCS(0),
 		Seed:                1,
 	}
 }
@@ -174,8 +184,14 @@ func (c Config) normalize() (Config, error) {
 	if c.DiscretizeSample == 0 {
 		c.DiscretizeSample = d.DiscretizeSample
 	}
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed
+	}
+	if c.Workers < 1 {
+		return c, fmt.Errorf("core: Workers must be >= 1, got %d", c.Workers)
 	}
 	if c.Intervals < 2 {
 		return c, fmt.Errorf("core: Intervals must be >= 2, got %d", c.Intervals)

@@ -224,34 +224,12 @@ func evalNumeric(attr int, h *histogram.Hist1D, totals []int, disc *quantile.Dis
 	return e
 }
 
-// decideNode is Part II of Figures 4 and 10: pick the splitting attribute,
-// determine the alive intervals, and install a leaf, a resolved split, or a
-// pending provisional split. Secondary decisions (same-scan second splits)
-// may only emit numeric splits; when they decline, the node simply remains
-// a building node for the next round.
-func (b *builder) decideNode(n *bnode, v *histView, kind decideKind) {
-	secondary := kind != decidePrimary
-	n.tn.SetCounts(v.totals)
-
-	if n.tn.Gini == 0 || n.tn.N < b.cfg.MinSplitRecords || n.depth >= b.cfg.MaxDepth ||
-		(b.cfg.PurityStop > 0 &&
-			float64(n.tn.ClassCounts[n.tn.Class]) >= b.cfg.PurityStop*float64(n.tn.N)) {
-		if !secondary {
-			b.finalizeAsLeaf(n, v.totals)
-		}
-		return
-	}
-	if !secondary && b.cfg.InMemoryNodeRecords > 0 &&
-		n.tn.N <= b.cfg.InMemoryNodeRecords && n.depth > 0 {
-		b.markCollect(n)
-		return
-	}
-
-	// Evaluate every attribute with an available marginal. Attributes whose
-	// discretizer collapsed to a single interval carry no split information
-	// (the interval estimate would be an unfalsifiable lower bound), and
-	// attributes banned by a failed resolution are not retried.
-	var best, evalX *numEval
+// evalNumericAttrs evaluates every numeric attribute with an available
+// marginal. Attributes whose discretizer collapsed to a single interval
+// carry no split information (the interval estimate would be an
+// unfalsifiable lower bound), and attributes banned by a failed resolution
+// are not retried. Pure: reads only the node's own state and the view.
+func (b *builder) evalNumericAttrs(n *bnode, v *histView) (best, evalX *numEval) {
 	for _, a := range b.numeric {
 		if v.marg[a] == nil || v.disc[a] == nil || v.disc[a].Bins() < 2 || n.banned[a] {
 			continue
@@ -269,6 +247,135 @@ func (b *builder) decideNode(n *bnode, v *histView, kind decideKind) {
 			best = &cp
 		}
 	}
+	return best, evalX
+}
+
+// evalCategoricalAttrs finds the best subset split over the categorical
+// marginals. Pure.
+func (b *builder) evalCategoricalAttrs(v *histView) (attr int, mask uint64, g float64) {
+	attr, g = -1, math.Inf(1)
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind != dataset.Categorical || v.marg[a] == nil {
+			continue
+		}
+		h := v.marg[a]
+		counts := make([][]int, h.Bins())
+		for bin := range counts {
+			counts[bin] = h.Bin(bin)
+		}
+		if m, gg, ok := gini.BestSubsetSplit(counts); ok && gg < g {
+			g, attr, mask = gg, a, m
+		}
+	}
+	return attr, mask, g
+}
+
+// decideEval carries the pure node-local evaluation a split decision works
+// from. The parallel decide path fills one per scanned node across the
+// worker pool; the serial application then consumes it in the original node
+// order, so the resulting mutations are identical to an inline decision.
+type decideEval struct {
+	v           *histView
+	evaluated   bool // best/evalX/cat fields are filled
+	best, evalX *numEval
+	catAttr     int
+	catMask     uint64
+	catG        float64
+	line        obliqueLine
+	lineOK      bool
+	lineTried   bool // the oblique search ran during precompute
+}
+
+// precomputeDecide runs every pure part of a primary split decision for a
+// scanned node: the view construction, the univariate gini hill-climbing,
+// the categorical subset search and (when the gates allow) the oblique
+// intercept walks. It mutates nothing; decideNodeFrom re-derives the cheap
+// gates itself and falls back to inline computation for anything not
+// precomputed, so a gate mismatch can cost time but never changes the tree.
+func (b *builder) precomputeDecide(n *bnode) *decideEval {
+	v := b.viewOf(n)
+	d := &decideEval{v: v, catAttr: -1, catG: math.Inf(1)}
+
+	// Mirror decideNodeFrom's early exits on a scratch node: when the
+	// serial phase will finalize a leaf or mark a collect, the evaluations
+	// below are never consulted.
+	var tn tree.Node
+	tn.SetCounts(v.totals)
+	if tn.Gini == 0 || tn.N < b.cfg.MinSplitRecords || n.depth >= b.cfg.MaxDepth ||
+		(b.cfg.PurityStop > 0 &&
+			float64(tn.ClassCounts[tn.Class]) >= b.cfg.PurityStop*float64(tn.N)) {
+		return d
+	}
+	if b.cfg.InMemoryNodeRecords > 0 && tn.N <= b.cfg.InMemoryNodeRecords && n.depth > 0 {
+		return d
+	}
+
+	d.best, d.evalX = b.evalNumericAttrs(n, v)
+	d.catAttr, d.catMask, d.catG = b.evalCategoricalAttrs(v)
+	d.evaluated = true
+
+	// Oblique gate, mirrored from decideNodeFrom (including the X-axis
+	// preference) so the intercept walks run here, off the serial path.
+	best := d.best
+	if v.mats != nil && best != nil && d.evalX != nil && best.attr != v.xAttr &&
+		d.evalX.score-best.score <= 0.02*tn.Gini {
+		best = d.evalX
+	}
+	bestScore := math.Inf(1)
+	if best != nil {
+		bestScore = best.score
+	}
+	if d.catAttr >= 0 && d.catG < bestScore {
+		bestScore = d.catG
+	}
+	if math.IsInf(bestScore, 1) || tn.Gini-bestScore < b.cfg.MinGiniGain {
+		return d
+	}
+	if b.cfg.Algorithm == CMPFull && v.mats != nil &&
+		n.depth <= b.cfg.ObliqueMaxDepth &&
+		tn.N >= b.cfg.ObliqueMinRecords && bestScore > b.cfg.ObliqueThreshold {
+		d.line, d.lineOK = b.bestObliqueSplit(v)
+		d.lineTried = true
+	}
+	return d
+}
+
+// decideNode is Part II of Figures 4 and 10: pick the splitting attribute,
+// determine the alive intervals, and install a leaf, a resolved split, or a
+// pending provisional split. Secondary decisions (same-scan second splits)
+// may only emit numeric splits; when they decline, the node simply remains
+// a building node for the next round.
+func (b *builder) decideNode(n *bnode, v *histView, kind decideKind) {
+	b.decideNodeFrom(n, &decideEval{v: v, catAttr: -1, catG: math.Inf(1)}, kind)
+}
+
+// decideNodeFrom is decideNode working from a (possibly precomputed)
+// evaluation. All builder mutations happen here, on the caller's goroutine.
+func (b *builder) decideNodeFrom(n *bnode, pre *decideEval, kind decideKind) {
+	v := pre.v
+	secondary := kind != decidePrimary
+	n.tn.SetCounts(v.totals)
+
+	if n.tn.Gini == 0 || n.tn.N < b.cfg.MinSplitRecords || n.depth >= b.cfg.MaxDepth ||
+		(b.cfg.PurityStop > 0 &&
+			float64(n.tn.ClassCounts[n.tn.Class]) >= b.cfg.PurityStop*float64(n.tn.N)) {
+		if !secondary {
+			b.finalizeAsLeaf(n, v.totals)
+		}
+		return
+	}
+	if !secondary && b.cfg.InMemoryNodeRecords > 0 &&
+		n.tn.N <= b.cfg.InMemoryNodeRecords && n.depth > 0 {
+		b.markCollect(n)
+		return
+	}
+
+	var best, evalX *numEval
+	if pre.evaluated {
+		best, evalX = pre.best, pre.evalX
+	} else {
+		best, evalX = b.evalNumericAttrs(n, v)
+	}
 	// Scores are estimates; when the predicted X-axis is statistically
 	// indistinguishable from the best attribute, prefer it — the split stays
 	// exact (resolution machinery unchanged) and the matrices become
@@ -282,18 +389,10 @@ func (b *builder) decideNode(n *bnode, v *histView, kind decideKind) {
 	var catMask uint64
 	catG := math.Inf(1)
 	if !secondary {
-		for a := 0; a < b.na; a++ {
-			if b.schema.Attrs[a].Kind != dataset.Categorical || v.marg[a] == nil {
-				continue
-			}
-			h := v.marg[a]
-			counts := make([][]int, h.Bins())
-			for bin := range counts {
-				counts[bin] = h.Bin(bin)
-			}
-			if mask, g, ok := gini.BestSubsetSplit(counts); ok && g < catG {
-				catG, catAttr, catMask = g, a, mask
-			}
+		if pre.evaluated {
+			catAttr, catMask, catG = pre.catAttr, pre.catMask, pre.catG
+		} else {
+			catAttr, catMask, catG = b.evalCategoricalAttrs(v)
 		}
 	}
 
@@ -320,7 +419,11 @@ func (b *builder) decideNode(n *bnode, v *histView, kind decideKind) {
 	if !secondary && b.cfg.Algorithm == CMPFull && v.mats != nil &&
 		n.depth <= b.cfg.ObliqueMaxDepth &&
 		n.tn.N >= b.cfg.ObliqueMinRecords && bestScore > b.cfg.ObliqueThreshold {
-		if line, ok := b.bestObliqueSplit(v); ok &&
+		line, ok := pre.line, pre.lineOK
+		if !pre.lineTried {
+			line, ok = b.bestObliqueSplit(v)
+		}
+		if ok &&
 			line.gini < (1-b.cfg.ObliqueGain)*bestScore &&
 			n.tn.Gini-line.gini >= b.cfg.MinGiniGain {
 			if n.depth == 0 {

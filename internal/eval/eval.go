@@ -60,6 +60,10 @@ type Options struct {
 	// covers at least this fraction of records (applied uniformly to every
 	// algorithm).
 	PurityStop float64
+	// Workers sets the CMP family's build parallelism (goroutines for the
+	// per-round scan and split resolution). 1 forces the serial path; zero
+	// selects GOMAXPROCS. The tree is identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +155,9 @@ func Run(algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts
 		cfg.Seed = opts.Seed
 		cfg.MaxDepth = opts.MaxDepth
 		cfg.PurityStop = opts.PurityStop
+		if opts.Workers != 0 {
+			cfg.Workers = opts.Workers
+		}
 		var res *core.Result
 		res, err = core.Build(src, cfg)
 		if err == nil {

@@ -239,6 +239,65 @@ func (f *File) Scan(fn func(rid int, vals []float64, label int) error) error {
 	return nil
 }
 
+// ScanRange implements RangeSource: records lo <= rid < hi in rid order,
+// read through a private file descriptor so concurrent ranges do not share
+// seek position. I/O is accounted into stats when non-nil, into the
+// source's own counters otherwise (not safe under concurrent calls — see
+// RangeSource).
+func (f *File) ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > f.n {
+		hi = f.n
+	}
+	if stats == nil {
+		stats = &f.stats
+	}
+	if lo >= hi {
+		return nil
+	}
+	file, err := os.Open(f.path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if _, err := file.Seek(f.dataOff+int64(lo)*f.recSize, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(file, 4*PageSize)
+	k := f.schema.NumAttrs()
+	vals := make([]float64, k)
+	buf := make([]byte, f.recSize)
+	account := func(recs int) {
+		stats.RecordsRead += int64(recs)
+		bytes := int64(recs) * f.recSize
+		stats.BytesRead += bytes
+		stats.PagesRead += pagesFor(bytes)
+	}
+	for rid := lo; rid < hi; rid++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			account(rid - lo)
+			return fmt.Errorf("storage: record %d of %s: %w", rid, f.path, err)
+		}
+		off := 0
+		for i := 0; i < k; i++ {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		label := int(binary.LittleEndian.Uint16(buf[off:]))
+		if err := fn(rid, vals, label); err != nil {
+			account(rid - lo + 1)
+			return err
+		}
+	}
+	account(hi - lo)
+	return nil
+}
+
+// AddStats implements RangeSource.
+func (f *File) AddStats(s Stats) { f.stats.Add(s) }
+
 // Stats implements Source.
 func (f *File) Stats() Stats { return f.stats }
 

@@ -1,0 +1,94 @@
+package storage
+
+import "sync"
+
+// RangeSource is a Source whose records can also be read by disjoint rid
+// ranges, enabling partitioned concurrent scans. Both Mem and File implement
+// it.
+type RangeSource interface {
+	Source
+	// ScanRange calls fn for every record with lo <= rid < hi, in rid
+	// order. I/O is accounted into stats when non-nil; when stats is nil
+	// the source's own counters are used, which is NOT safe under
+	// concurrent ScanRange calls — concurrent scanners must meter into
+	// private Stats and merge them once, as ParallelScan does. Scans is
+	// never incremented: a range is a partial pass.
+	ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error
+	// AddStats merges externally accumulated counters into the source's
+	// totals. Call it from a single goroutine, once per completed parallel
+	// pass.
+	AddStats(s Stats)
+}
+
+// ParallelScan partitions [0, NumRecords()) into at most workers contiguous
+// ranges and scans them concurrently, one goroutine per range. fn receives
+// the worker index (0 <= worker < workers) alongside each record; records
+// within one worker's range arrive in rid order, and each worker reuses its
+// own vals slice. fn must be safe for concurrent invocation across distinct
+// worker indices.
+//
+// Accounting is race-free by construction: every worker meters into a
+// private Stats, and the totals are merged into the source exactly once,
+// from the caller's goroutine. On success the merged entry is
+// indistinguishable from one serial Scan — one full scan, with the page
+// count computed over the whole byte volume rather than summed per range —
+// so serial and parallel passes report bit-identical Stats. On error the
+// partial per-worker totals are still merged (without counting a completed
+// scan) and the error of the lowest-indexed failing worker is returned.
+func ParallelScan(src RangeSource, workers int, fn func(worker, rid int, vals []float64, label int) error) error {
+	n := src.NumRecords()
+	if n == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	stats := make([]Stats, workers)
+	errs := make([]error, workers)
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			errs[w] = src.ScanRange(lo, hi, &stats[w], func(rid int, vals []float64, label int) error {
+				return fn(w, rid, vals, label)
+			})
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var merged Stats
+	for _, s := range stats {
+		merged.Add(s)
+	}
+	// Whole-pass page accounting: summing per-range page counts would round
+	// up once per worker and diverge from a serial scan.
+	merged.PagesRead = pagesFor(merged.BytesRead)
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		merged.Scans++
+	}
+	src.AddStats(merged)
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return firstErr
+}

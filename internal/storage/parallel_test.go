@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cmpdt/internal/dataset"
+)
+
+// rangeTable builds a small numeric table whose records are identifiable by
+// rid: vals[0] == rid, label == rid % classes.
+func rangeTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "a", Kind: dataset.Numeric},
+			{Name: "b", Kind: dataset.Numeric},
+		},
+		Classes: []string{"c0", "c1", "c2"},
+	}
+	tbl, err := dataset.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tbl.Append([]float64{float64(i), float64(2 * i)}, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// rangeSources yields the two RangeSource implementations over the same
+// records.
+func rangeSources(t *testing.T, n int) map[string]RangeSource {
+	t.Helper()
+	tbl := rangeTable(t, n)
+	f, err := WriteTable(filepath.Join(t.TempDir(), "range.rec"), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]RangeSource{"mem": NewMem(tbl), "file": f}
+}
+
+func TestScanRange(t *testing.T) {
+	const n = 137
+	for name, src := range rangeSources(t, n) {
+		t.Run(name, func(t *testing.T) {
+			for _, r := range [][2]int{{0, n}, {0, 1}, {n - 1, n}, {40, 97}, {n, n}, {-5, n + 5}} {
+				lo, hi := r[0], r[1]
+				var st Stats
+				var got []int
+				err := src.ScanRange(lo, hi, &st, func(rid int, vals []float64, label int) error {
+					if vals[0] != float64(rid) || vals[1] != float64(2*rid) || label != rid%3 {
+						t.Fatalf("rid %d: got vals=%v label=%d", rid, vals, label)
+					}
+					got = append(got, rid)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("ScanRange(%d,%d): %v", lo, hi, err)
+				}
+				cLo, cHi := lo, hi
+				if cLo < 0 {
+					cLo = 0
+				}
+				if cHi > n {
+					cHi = n
+				}
+				want := cHi - cLo
+				if want < 0 {
+					want = 0
+				}
+				if len(got) != want {
+					t.Fatalf("ScanRange(%d,%d): %d records, want %d", lo, hi, len(got), want)
+				}
+				for i, rid := range got {
+					if rid != cLo+i {
+						t.Fatalf("ScanRange(%d,%d): out of order at %d: %d", lo, hi, i, rid)
+					}
+				}
+				if st.RecordsRead != int64(want) {
+					t.Fatalf("ScanRange(%d,%d): stats.RecordsRead=%d, want %d", lo, hi, st.RecordsRead, want)
+				}
+				if st.Scans != 0 {
+					t.Fatalf("ScanRange must not count a full scan, got %d", st.Scans)
+				}
+			}
+			if got := src.Stats(); got != (Stats{}) {
+				t.Fatalf("private-stats ScanRange mutated source counters: %+v", got)
+			}
+		})
+	}
+}
+
+func TestScanRangeError(t *testing.T) {
+	boom := errors.New("boom")
+	for name, src := range rangeSources(t, 50) {
+		t.Run(name, func(t *testing.T) {
+			var st Stats
+			err := src.ScanRange(10, 40, &st, func(rid int, vals []float64, label int) error {
+				if rid == 20 {
+					return boom
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want %v", err, boom)
+			}
+			if st.RecordsRead != 11 {
+				t.Fatalf("partial RecordsRead = %d, want 11", st.RecordsRead)
+			}
+		})
+	}
+}
+
+func TestParallelScanMatchesSerial(t *testing.T) {
+	const n = 1000
+	for name, src := range rangeSources(t, n) {
+		t.Run(name, func(t *testing.T) {
+			// Reference: one serial scan on a fresh twin source.
+			var serialStats Stats
+			for twin, s := range rangeSources(t, n) {
+				if twin != name {
+					continue
+				}
+				if err := s.Scan(func(rid int, vals []float64, label int) error { return nil }); err != nil {
+					t.Fatal(err)
+				}
+				serialStats = s.Stats()
+			}
+
+			for _, workers := range []int{1, 2, 3, 8, 2000} {
+				src.ResetStats()
+				seen := make([]int32, n)
+				var mu sync.Mutex
+				perWorker := map[int]int{}
+				err := ParallelScan(src, workers, func(w, rid int, vals []float64, label int) error {
+					if vals[0] != float64(rid) || label != rid%3 {
+						return fmt.Errorf("rid %d: bad record %v/%d", rid, vals, label)
+					}
+					seen[rid]++
+					mu.Lock()
+					perWorker[w]++
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				for rid, c := range seen {
+					if c != 1 {
+						t.Fatalf("workers=%d: rid %d visited %d times", workers, rid, c)
+					}
+				}
+				if got := src.Stats(); got != serialStats {
+					t.Fatalf("workers=%d: stats %+v, want serial-identical %+v", workers, got, serialStats)
+				}
+				wantW := workers
+				if wantW > n {
+					wantW = n
+				}
+				if len(perWorker) != wantW {
+					t.Fatalf("workers=%d: %d distinct worker indices, want %d", workers, len(perWorker), wantW)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelScanError(t *testing.T) {
+	boom := errors.New("boom")
+	for name, src := range rangeSources(t, 200) {
+		t.Run(name, func(t *testing.T) {
+			err := ParallelScan(src, 4, func(w, rid int, vals []float64, label int) error {
+				if rid >= 150 {
+					return boom
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want %v", err, boom)
+			}
+			if got := src.Stats(); got.Scans != 0 {
+				t.Fatalf("failed parallel pass must not count a scan: %+v", got)
+			}
+		})
+	}
+}

@@ -99,6 +99,42 @@ func (m *Mem) Scan(fn func(rid int, vals []float64, label int) error) error {
 	return nil
 }
 
+// ScanRange implements RangeSource: records lo <= rid < hi in rid order.
+// I/O is accounted into stats when non-nil, into the source's own counters
+// otherwise (not safe under concurrent calls — see RangeSource).
+func (m *Mem) ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
+	n := m.table.NumRecords()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if stats == nil {
+		stats = &m.stats
+	}
+	rb := recordBytes(m.table.Schema())
+	account := func(recs int) {
+		stats.RecordsRead += int64(recs)
+		bytes := int64(recs) * rb
+		stats.BytesRead += bytes
+		stats.PagesRead += pagesFor(bytes)
+	}
+	for i := lo; i < hi; i++ {
+		if err := fn(i, m.table.Row(i), m.table.Label(i)); err != nil {
+			account(i - lo + 1)
+			return err
+		}
+	}
+	if hi > lo {
+		account(hi - lo)
+	}
+	return nil
+}
+
+// AddStats implements RangeSource.
+func (m *Mem) AddStats(s Stats) { m.stats.Add(s) }
+
 // Stats implements Source.
 func (m *Mem) Stats() Stats { return m.stats }
 
