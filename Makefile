@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint cover
+.PHONY: build test race bench lint cover faults
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,10 @@ lint:
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# The robustness suite: fault-injection tests repeated (they are seeded, so
+# repetition guards the retry plumbing, not flakiness), plus cancellation
+# under the race detector.
+faults:
+	$(GO) test -run Fault -count=5 ./internal/storage/ ./internal/core/
+	$(GO) test -race -run Cancel ./internal/core/ ./internal/storage/

@@ -51,7 +51,7 @@ func main() {
 			var v int
 			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil || v <= 0 {
 				fmt.Fprintf(os.Stderr, "cmpbench: bad size %q\n", s)
-				os.Exit(2)
+				os.Exit(1)
 			}
 			opts.Sizes = append(opts.Sizes, v)
 		}

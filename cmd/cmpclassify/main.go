@@ -24,10 +24,6 @@ import (
 func main() {
 	model := flag.String("model", "", "path to a saved tree model (required)")
 	flag.Parse()
-	if *model == "" {
-		fmt.Fprintln(os.Stderr, "cmpclassify: -model is required")
-		os.Exit(2)
-	}
 	if err := run(*model, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmpclassify:", err)
 		os.Exit(1)
@@ -35,6 +31,9 @@ func main() {
 }
 
 func run(modelPath string, in io.Reader, out io.Writer) error {
+	if modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
 	tree, err := cmpdt.LoadModel(modelPath)
 	if err != nil {
 		return err

@@ -76,6 +76,7 @@ func run(fnName, statlog string, n int, seed int64, noise float64, out string, c
 		return err
 	}
 	if err := synth.GenerateTo(w, fn, n, seed, synth.Options{Noise: noise}); err != nil {
+		w.Abort()
 		return err
 	}
 	f, err := w.Close()

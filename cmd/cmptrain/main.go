@@ -2,6 +2,10 @@
 // cmpgen) with any of the repository's algorithms and prints the tree and
 // its construction statistics.
 //
+// The build honours Ctrl-C (SIGINT/SIGTERM) and the optional -timeout: a
+// cancelled CMP-family build stops at the next scan batch and exits with an
+// error instead of leaving work half-done.
+//
 // Usage:
 //
 //	cmpgen -func f -n 200000 -out ff.rec
@@ -10,10 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"cmpdt/internal/eval"
 	"cmpdt/internal/storage"
@@ -28,19 +36,20 @@ func main() {
 	noPrune := flag.Bool("no-prune", false, "disable MDL pruning")
 	workers := flag.Int("workers", 0, "build parallelism for the CMP family (0 = GOMAXPROCS, 1 = serial; any value yields the identical tree)")
 	seed := flag.Int64("seed", 1, "training seed")
+	timeout := flag.Duration("timeout", 0, "abort the build after this duration (0 = no limit)")
+	skipInvalid := flag.Bool("skip-invalid", false, "drop records with NaN/Inf features or out-of-range labels instead of aborting (CMP family)")
 	quiet := flag.Bool("quiet", false, "suppress the tree printout")
 	save := flag.String("save", "", "write the trained model as JSON to this path")
 	flag.Parse()
 
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "cmptrain: -data is required")
-		os.Exit(2)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	src, err := storage.OpenFile(*data)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmptrain:", err)
-		os.Exit(1)
-	}
+
 	opts := eval.Options{
 		Intervals:       *intervals,
 		MaxAlive:        *alive,
@@ -48,38 +57,57 @@ func main() {
 		PruneOff:        *noPrune,
 		Workers:         *workers,
 		Seed:            *seed,
+		SkipInvalid:     *skipInvalid,
 	}
-	res, tree, err := eval.Run(*algo, src, nil, nil, opts)
-	if err != nil {
+	if err := run(ctx, *algo, *data, *save, *quiet, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmptrain:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("algorithm   %s\n", res.Algorithm)
-	fmt.Printf("records     %d\n", res.N)
-	fmt.Printf("wall time   %v\n", res.WallTime)
-	fmt.Printf("sim time    %.2fs (cost model: %d scan(s), %.1f MB read, %.1f MB auxiliary)\n",
+}
+
+func run(ctx context.Context, algo, data, save string, quiet bool, opts eval.Options, stdout io.Writer) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	src, err := storage.OpenFile(data)
+	if err != nil {
+		return err
+	}
+	res, tree, err := eval.RunContext(ctx, algo, src, nil, nil, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "algorithm   %s\n", res.Algorithm)
+	fmt.Fprintf(stdout, "records     %d\n", res.N)
+	fmt.Fprintf(stdout, "wall time   %v\n", res.WallTime)
+	fmt.Fprintf(stdout, "sim time    %.2fs (cost model: %d scan(s), %.1f MB read, %.1f MB auxiliary)\n",
 		res.SimSeconds, res.Scans, float64(res.BytesRead)/(1<<20), float64(res.AuxBytesIO)/(1<<20))
-	fmt.Printf("peak memory %.2f MB\n", float64(res.PeakMemBytes)/(1<<20))
-	fmt.Printf("tree        %d nodes, %d leaves, depth %d, %d linear split(s)\n",
+	fmt.Fprintf(stdout, "peak memory %.2f MB\n", float64(res.PeakMemBytes)/(1<<20))
+	fmt.Fprintf(stdout, "tree        %d nodes, %d leaves, depth %d, %d linear split(s)\n",
 		res.TreeNodes, res.TreeLeaves, res.TreeDepth, res.Oblique)
-	if *save != "" {
-		f, err := os.Create(*save)
+	if res.Skipped > 0 {
+		fmt.Fprintf(stdout, "skipped     %d invalid record(s) per pass\n", res.Skipped)
+	}
+	if res.Retries > 0 {
+		fmt.Fprintf(stdout, "io retries  %d transient read failure(s) absorbed\n", res.Retries)
+	}
+	if save != "" {
+		f, err := os.Create(save)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cmptrain:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := tree.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cmptrain:", err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "cmptrain:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("model saved to %s\n", *save)
+		fmt.Fprintf(stdout, "model saved to %s\n", save)
 	}
-	if !*quiet {
-		fmt.Println()
-		fmt.Print(tree.String())
+	if !quiet {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tree.String())
 	}
+	return nil
 }

@@ -33,6 +33,7 @@
 package cmpdt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -203,7 +204,24 @@ type Config struct {
 	Workers int
 	// Seed drives sampling and the root's random X-axis (default 1).
 	Seed int64
+	// Validation selects how invalid records — NaN or infinite numeric
+	// features, out-of-range categorical codes or class labels — are
+	// treated: ValidateStrict (the default) aborts training with an error
+	// naming the first such record, ValidateSkip drops them
+	// deterministically and counts them in Stats.SkippedRecords.
+	Validation ValidationPolicy
 }
+
+// ValidationPolicy selects how training treats records it cannot learn
+// from. See Config.Validation.
+type ValidationPolicy int
+
+const (
+	// ValidateStrict aborts training on the first invalid record.
+	ValidateStrict ValidationPolicy = iota
+	// ValidateSkip drops invalid records and counts them.
+	ValidateSkip
+)
 
 func (c Config) internal() core.Config {
 	cfg := core.Default(coreAlgo(c.Algorithm))
@@ -227,6 +245,9 @@ func (c Config) internal() core.Config {
 	if c.Seed != 0 {
 		cfg.Seed = c.Seed
 	}
+	if c.Validation == ValidateSkip {
+		cfg.Validation = core.ValidateSkip
+	}
 	return cfg
 }
 
@@ -244,6 +265,9 @@ type Stats struct {
 	DoubleSplits int
 	// ObliqueSplits counts linear-combination splits in the final tree.
 	ObliqueSplits int
+	// SkippedRecords is the number of invalid records dropped per training
+	// pass under ValidateSkip (zero under ValidateStrict).
+	SkippedRecords int64
 }
 
 // Tree is a trained classifier.
@@ -284,28 +308,48 @@ func Train(ds *Dataset, cfg Config) (*Tree, error) {
 	return tr, err
 }
 
+// TrainContext is Train under a context: cancelling ctx (or exceeding its
+// deadline) aborts the build with ctx.Err() within a bounded slice of one
+// scan round, with every worker goroutine joined before it returns.
+func TrainContext(ctx context.Context, ds *Dataset, cfg Config) (*Tree, error) {
+	tr, _, err := TrainStatsContext(ctx, ds, cfg)
+	return tr, err
+}
+
 // TrainStats is Train plus run statistics.
 func TrainStats(ds *Dataset, cfg Config) (*Tree, *Stats, error) {
+	return TrainStatsContext(context.Background(), ds, cfg)
+}
+
+// TrainStatsContext is TrainStats under a context (see TrainContext).
+func TrainStatsContext(ctx context.Context, ds *Dataset, cfg Config) (*Tree, *Stats, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, nil, errors.New("cmpdt: empty dataset")
 	}
-	return trainSource(storage.NewMem(ds.tbl), cfg)
+	return trainSource(ctx, storage.NewMem(ds.tbl), cfg)
 }
 
 // TrainFile builds a decision tree over a disk-resident dataset previously
 // written with Dataset.SaveFile (or the cmpgen tool). The file is scanned
 // sequentially once per construction round, exactly as the paper's
-// disk-based setting.
+// disk-based setting. Transient read errors are retried under the store's
+// retry policy, and checksummed stores abort on corruption rather than
+// training on damaged bytes.
 func TrainFile(path string, cfg Config) (*Tree, *Stats, error) {
+	return TrainFileContext(context.Background(), path, cfg)
+}
+
+// TrainFileContext is TrainFile under a context (see TrainContext).
+func TrainFileContext(ctx context.Context, path string, cfg Config) (*Tree, *Stats, error) {
 	f, err := storage.OpenFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return trainSource(f, cfg)
+	return trainSource(ctx, f, cfg)
 }
 
-func trainSource(src storage.Source, cfg Config) (*Tree, *Stats, error) {
-	res, err := core.Build(src, cfg.internal())
+func trainSource(ctx context.Context, src storage.Source, cfg Config) (*Tree, *Stats, error) {
+	res, err := core.BuildContext(ctx, src, cfg.internal())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -317,6 +361,7 @@ func trainSource(src storage.Source, cfg Config) (*Tree, *Stats, error) {
 		PredictionTotal: res.Stats.PredictionTotal,
 		DoubleSplits:    res.Stats.DoubleSplits,
 		ObliqueSplits:   res.Stats.ObliqueSplits,
+		SkippedRecords:  res.Stats.SkippedRecords,
 	}
 	return &Tree{t: res.Tree}, st, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,6 +54,7 @@ func AnalyzeAttribute(src storage.Source, cfg Config, attrName string) (*Attribu
 
 	cfg.Algorithm = CMPS
 	b := &builder{
+		ctx:    context.Background(),
 		cfg:    cfg,
 		src:    src,
 		schema: schema,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -45,7 +46,7 @@ func BenchmarkParallelScan(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sums := make([]int64, workers)
-				err := storage.ParallelScan(src, workers, func(worker, rid int, vals []float64, label int) error {
+				err := storage.ParallelScan(context.Background(), src, workers, func(worker, rid int, vals []float64, label int) error {
 					sums[worker] += int64(label)
 					return nil
 				})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,7 +25,26 @@ var errSampleDone = errors.New("core: sample complete")
 // and 10 of the paper (plus one initial scan to sample the equal-depth
 // interval boundaries).
 func Build(src storage.Source, cfg Config) (*Result, error) {
-	cfg, err := cfg.normalize()
+	return BuildContext(context.Background(), src, cfg)
+}
+
+// BuildContext is Build under a context: cancelling ctx (or exceeding its
+// deadline) aborts the build with ctx.Err() within a bounded slice of one
+// scan round — every scan path, serial and parallel, checks the context
+// periodically, and the parallel workers all join before BuildContext
+// returns, so a cancelled build leaks no goroutines. Any panic escaping the
+// builder or its worker pool is recovered into an error instead of crashing
+// the process.
+func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: build panicked: %v", r)
+		}
+	}()
+	cfg, err = cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
@@ -35,6 +55,7 @@ func Build(src storage.Source, cfg Config) (*Result, error) {
 		return nil, errors.New("core: empty training set")
 	}
 	b := &builder{
+		ctx:    ctx,
 		cfg:    cfg,
 		src:    src,
 		schema: src.Schema(),
@@ -66,6 +87,9 @@ func Build(src storage.Source, cfg Config) (*Result, error) {
 		if b.round > b.cfg.MaxRounds {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := b.scan(); err != nil {
 			return nil, err
 		}
@@ -91,6 +115,7 @@ func Build(src storage.Source, cfg Config) (*Result, error) {
 }
 
 type builder struct {
+	ctx    context.Context
 	cfg    Config
 	src    storage.Source
 	schema *dataset.Schema
@@ -115,6 +140,50 @@ type builder struct {
 	round int
 	stats Stats
 	rng   *rand.Rand
+}
+
+// ctxCheckMask throttles context polling in serial scan loops: the context
+// is checked every 1024 records, cheap against the per-record routing work
+// yet frequent enough that cancellation lands well inside one scan round.
+const ctxCheckMask = 1023
+
+// recordDefect reports why a record cannot be trained on, or "" if it is
+// valid: NaN/infinite numeric features break histogram binning and the
+// buffer-sort determinism guarantee, non-integral or out-of-range
+// categorical codes would index outside their histogram, and out-of-range
+// labels outside the class-count arrays. The check is a pure function of
+// the record, so under ValidateSkip the same records are skipped on every
+// scan and the build stays deterministic.
+func recordDefect(schema *dataset.Schema, vals []float64, label int) string {
+	if label < 0 || label >= schema.NumClasses() {
+		return fmt.Sprintf("label %d outside [0,%d)", label, schema.NumClasses())
+	}
+	if len(vals) != schema.NumAttrs() {
+		return fmt.Sprintf("%d values for %d attributes", len(vals), schema.NumAttrs())
+	}
+	for a := range schema.Attrs {
+		v := vals[a]
+		if schema.Attrs[a].Kind == dataset.Numeric {
+			if math.IsNaN(v) {
+				return fmt.Sprintf("attribute %q is NaN", schema.Attrs[a].Name)
+			}
+			if math.IsInf(v, 0) {
+				return fmt.Sprintf("attribute %q is %v", schema.Attrs[a].Name, v)
+			}
+			continue
+		}
+		card := schema.Attrs[a].Cardinality()
+		iv := int(v)
+		if math.IsNaN(v) || float64(iv) != v || iv < 0 || iv >= card {
+			return fmt.Sprintf("categorical %q value %v outside [0,%d)", schema.Attrs[a].Name, v, card)
+		}
+	}
+	return ""
+}
+
+// errInvalidRecord builds the ValidateStrict abort error.
+func errInvalidRecord(rid int, defect string) error {
+	return fmt.Errorf("core: record %d invalid: %s (set Config.Validation = ValidateSkip to drop such records)", rid, defect)
 }
 
 // init performs the discretization pass: a reservoir sample of each numeric
@@ -145,7 +214,20 @@ func (b *builder) init() error {
 	// the scan cost model charges only the bytes actually read (the papers
 	// likewise compute quantiles from a sample rather than a full pass).
 	seen := 0
+	checked := 0
 	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		checked++
+		if checked&ctxCheckMask == 0 {
+			if err := b.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if d := recordDefect(b.schema, vals, label); d != "" {
+			if b.cfg.Validation == ValidateStrict {
+				return errInvalidRecord(rid, d)
+			}
+			return nil // skipped: only valid records feed the sample
+		}
 		for _, a := range b.numeric {
 			v := vals[a]
 			if v < b.attrMin[a] {
@@ -196,7 +278,20 @@ func (b *builder) initFullPass(n int) error {
 		}
 		sketches[a] = gk
 	}
+	checked := 0
 	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		checked++
+		if checked&ctxCheckMask == 0 {
+			if err := b.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if d := recordDefect(b.schema, vals, label); d != "" {
+			if b.cfg.Validation == ValidateStrict {
+				return errInvalidRecord(rid, d)
+			}
+			return nil
+		}
 		for _, a := range b.numeric {
 			v := vals[a]
 			if v < b.attrMin[a] {
@@ -323,22 +418,40 @@ func (b *builder) scan() error {
 			return b.scanParallel(rs)
 		}
 	}
+	var skipped int64
+	checked := 0
 	err := b.src.Scan(func(rid int, vals []float64, label int) error {
+		checked++
+		if checked&ctxCheckMask == 0 {
+			if err := b.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if d := recordDefect(b.schema, vals, label); d != "" {
+			if b.cfg.Validation == ValidateStrict {
+				return errInvalidRecord(rid, d)
+			}
+			skipped++
+			return nil
+		}
 		b.route(b.nodes[b.nid[rid]], rid, vals, label)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	b.finishScan()
+	b.finishScan(skipped)
 	return nil
 }
 
 // finishScan updates the per-scan counters shared by the serial and
-// parallel passes.
-func (b *builder) finishScan() {
+// parallel passes. skipped is the number of invalid records this full pass
+// dropped under ValidateSkip; validation is pure per-record, so the count
+// is identical every pass and is recorded rather than accumulated.
+func (b *builder) finishScan(skipped int64) {
 	b.stats.Scans++
 	b.stats.Rounds++
+	b.stats.SkippedRecords = skipped
 	// The paper swaps the nid array to disk: one read and one write of
 	// 4 bytes per record per scan.
 	b.stats.NidBytesIO += 8 * int64(len(b.nid))

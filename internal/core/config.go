@@ -53,6 +53,23 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ValidationPolicy selects how a build treats records that cannot be
+// trained on: NaN or infinite numeric features, non-integral or
+// out-of-range categorical codes, and out-of-range class labels. Such
+// records would otherwise poison histograms, break the buffer-sort
+// determinism guarantee (NaN is unordered), or panic deep in a histogram
+// update.
+type ValidationPolicy int
+
+const (
+	// ValidateStrict aborts the build with an error naming the first
+	// invalid record. The default: bad training data is a bug upstream.
+	ValidateStrict ValidationPolicy = iota
+	// ValidateSkip drops invalid records (deterministically — the same
+	// records every scan) and counts them in Stats.SkippedRecords.
+	ValidateSkip
+)
+
 // Config tunes a build. The zero value is not usable; call Default first or
 // use Build's normalization.
 type Config struct {
@@ -121,6 +138,11 @@ type Config struct {
 	Workers int
 	// Seed drives the discretization sample and the root's random X-axis.
 	Seed int64
+	// Validation selects how invalid records (NaN/Inf features,
+	// out-of-range labels or categorical codes) are treated: ValidateStrict
+	// (the zero value) aborts the build, ValidateSkip drops and counts
+	// them.
+	Validation ValidationPolicy
 }
 
 // Default returns the configuration used throughout the evaluation.
@@ -202,6 +224,9 @@ func (c Config) normalize() (Config, error) {
 	if c.Algorithm != CMPS && c.Algorithm != CMPB && c.Algorithm != CMPFull {
 		return c, fmt.Errorf("core: unknown algorithm %d", int(c.Algorithm))
 	}
+	if c.Validation != ValidateStrict && c.Validation != ValidateSkip {
+		return c, fmt.Errorf("core: unknown validation policy %d", int(c.Validation))
+	}
 	return c, nil
 }
 
@@ -238,6 +263,10 @@ type Stats struct {
 	// Reverts counts pending splits whose alive intervals held no improving
 	// point, forcing the node to re-decide on another attribute.
 	Reverts int
+	// SkippedRecords is the number of invalid records dropped per full
+	// training pass under ValidateSkip (validation is pure per-record, so
+	// every pass skips the same records). Zero under ValidateStrict.
+	SkippedRecords int64
 
 	// Root-split diagnostics for Table 1: the attribute the root split on,
 	// how many alive intervals its provisional split retained, and the

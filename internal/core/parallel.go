@@ -27,6 +27,7 @@ import (
 type scanShard struct {
 	nodes    []*shardNode
 	buffered int64 // records routed into alive-interval buffers
+	skipped  int64 // invalid records dropped under ValidateSkip
 }
 
 // shardNode mirrors the shardable per-node state a scan writes: the
@@ -73,23 +74,34 @@ func (sh *scanShard) mergeInto(b *builder) {
 
 // scanParallel is the sharded counterpart of the serial pass in scan():
 // disjoint contiguous record ranges stream through routeTo into per-worker
-// shards, merged deterministically afterwards.
+// shards, merged deterministically afterwards. Validation and skip
+// accounting shard the same way — each worker counts the invalid records
+// of its own range, and the counts sum to the serial pass's total.
 func (b *builder) scanParallel(rs storage.RangeSource) error {
 	shards := make([]*scanShard, b.cfg.Workers)
 	for w := range shards {
 		shards[w] = &scanShard{nodes: make([]*shardNode, len(b.nodes))}
 	}
-	err := storage.ParallelScan(rs, b.cfg.Workers, func(worker, rid int, vals []float64, label int) error {
+	err := storage.ParallelScan(b.ctx, rs, b.cfg.Workers, func(worker, rid int, vals []float64, label int) error {
+		if d := recordDefect(b.schema, vals, label); d != "" {
+			if b.cfg.Validation == ValidateStrict {
+				return errInvalidRecord(rid, d)
+			}
+			shards[worker].skipped++
+			return nil
+		}
 		b.routeTo(shards[worker], b.nodes[b.nid[rid]], rid, vals, label)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	var skipped int64
 	for _, sh := range shards {
 		sh.mergeInto(b)
+		skipped += sh.skipped
 	}
-	b.finishScan()
+	b.finishScan(skipped)
 	return nil
 }
 

@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,10 @@ type Options struct {
 	// per-round scan and split resolution). 1 forces the serial path; zero
 	// selects GOMAXPROCS. The tree is identical for every value.
 	Workers int
+	// SkipInvalid drops records the CMP family cannot train on (NaN/Inf
+	// features, out-of-range labels) instead of aborting; the count is
+	// reported in RunResult.Skipped.
+	SkipInvalid bool
 }
 
 func (o Options) withDefaults() Options {
@@ -121,11 +126,18 @@ type RunResult struct {
 	PagesRead    int64
 	AuxBytesIO   int64 // attribute lists, nid swaps
 	PeakMemBytes int64
+	// Retries counts transient read failures the storage layer absorbed
+	// (nonzero only for fault-prone sources, e.g. under fault injection).
+	Retries int64
 
 	TreeNodes  int
 	TreeLeaves int
 	TreeDepth  int
 	Oblique    int
+
+	// Skipped is the number of invalid records dropped per training pass
+	// under Options.SkipInvalid (CMP family only).
+	Skipped int64
 
 	TrainAccuracy float64
 	TestAccuracy  float64
@@ -134,6 +146,13 @@ type RunResult struct {
 // Run trains the named algorithm over src, optionally computing train/test
 // accuracy against the given tables (either may be nil).
 func Run(algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts Options) (*RunResult, *tree.Tree, error) {
+	return RunContext(context.Background(), algo, src, trainTbl, testTbl, opts)
+}
+
+// RunContext is Run with cancellation: the CMP family aborts between scan
+// batches when ctx is cancelled and returns ctx's error. The remaining
+// algorithms currently run to completion.
+func RunContext(ctx context.Context, algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts Options) (*RunResult, *tree.Tree, error) {
 	opts = opts.withDefaults()
 	src.ResetStats()
 	start := time.Now()
@@ -158,13 +177,18 @@ func Run(algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts
 		if opts.Workers != 0 {
 			cfg.Workers = opts.Workers
 		}
+		if opts.SkipInvalid {
+			cfg.Validation = core.ValidateSkip
+		}
 		var res *core.Result
-		res, err = core.Build(src, cfg)
+		res, err = core.BuildContext(ctx, src, cfg)
 		if err == nil {
 			t = res.Tree
 			aux = res.Stats.NidBytesIO
 			mem = res.Stats.PeakMemoryBytes
-			return finish(algo, src, start, t, aux, mem, res.Stats.ObliqueSplits, trainTbl, testTbl), t, nil
+			r := finish(algo, src, start, t, aux, mem, res.Stats.ObliqueSplits, trainTbl, testTbl)
+			r.Skipped = res.Stats.SkippedRecords
+			return r, t, nil
 		}
 	case AlgoSPRINT:
 		cfg := sprint.DefaultConfig()
@@ -270,6 +294,7 @@ func finish(algo string, src storage.Source, start time.Time, t *tree.Tree, aux,
 		PagesRead:    io.PagesRead,
 		AuxBytesIO:   aux,
 		PeakMemBytes: mem,
+		Retries:      io.Retries,
 		TreeNodes:    t.Size(),
 		TreeLeaves:   t.Leaves(),
 		TreeDepth:    t.Depth(),

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorruptPageDetected flips one payload byte of a CMPDT2 store and
+// checks both scan entry points report the damage instead of training on it.
+func TestCorruptPageDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.rec")
+	f := writeTestFile(t, path, 5000, FormatV2)
+
+	// Flip the file's last byte: payload of the final page.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("Scan", func(t *testing.T) {
+		f.ResetStats()
+		err := f.Scan(func(int, []float64, int) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+		if st := f.Stats(); st.CorruptPages != 1 {
+			t.Errorf("CorruptPages = %d, want 1", st.CorruptPages)
+		}
+	})
+	t.Run("ScanRange", func(t *testing.T) {
+		var st Stats
+		err := f.ScanRange(4900, 5000, &st, func(int, []float64, int) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+		if st.CorruptPages != 1 {
+			t.Errorf("CorruptPages = %d, want 1", st.CorruptPages)
+		}
+	})
+	t.Run("CleanPrefixStillReadable", func(t *testing.T) {
+		// Damage in the last page must not poison ranges that avoid it.
+		var st Stats
+		n := 0
+		err := f.ScanRange(0, 300, &st, func(int, []float64, int) error { n++; return nil })
+		if err != nil || n != 300 {
+			t.Fatalf("clean-prefix range: err=%v n=%d", err, n)
+		}
+		if st.CorruptPages != 0 {
+			t.Errorf("CorruptPages = %d on a clean range", st.CorruptPages)
+		}
+	})
+}
+
+// TestOpenFileRejectsBadInputs is the header validation table: bad magic,
+// truncated header, truncated data region.
+func TestOpenFileRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.rec")
+	writeTestFile(t, path, 100, FormatV2)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"truncated magic", func(b []byte) []byte { return b[:3] }},
+		{"truncated header length", func(b []byte) []byte { return b[:len(magicV1)+2] }},
+		{"truncated header", func(b []byte) []byte { return b[:len(magicV1)+4+5] }},
+		{"truncated data", func(b []byte) []byte { return b[:len(b)-10] }},
+		{"header not json", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(magicV1)+4] = '!'
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, "bad.rec")
+			if err := os.WriteFile(p, tc.mutate(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenFile(p); err == nil {
+				t.Error("malformed file accepted")
+			}
+		})
+	}
+}
+
+// TestMidScanTruncation truncates the data region after OpenFile succeeded:
+// the scan must fail with a truncation error, not hang or return short data.
+func TestMidScanTruncation(t *testing.T) {
+	for _, version := range []Version{FormatV1, FormatV2} {
+		name := "v2"
+		if version == FormatV1 {
+			name = "v1"
+		}
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "t.rec")
+			f := writeTestFile(t, path, 2000, version)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-100); err != nil {
+				t.Fatal(err)
+			}
+			err = f.Scan(func(int, []float64, int) error { return nil })
+			if err == nil {
+				t.Fatal("scan of truncated file succeeded")
+			}
+		})
+	}
+}
+
+// TestV1BackCompat writes the legacy format explicitly and checks the reader
+// still consumes it, record for record, with identical logical accounting.
+func TestV1BackCompat(t *testing.T) {
+	dir := t.TempDir()
+	v1 := writeTestFile(t, filepath.Join(dir, "v1.rec"), 1234, FormatV1)
+	v2 := writeTestFile(t, filepath.Join(dir, "v2.rec"), 1234, FormatV2)
+	if v1.Format() != FormatV1 || v2.Format() != FormatV2 {
+		t.Fatalf("formats = %d, %d", v1.Format(), v2.Format())
+	}
+	a, b := collect(t, v1), collect(t, v2)
+	if len(a) != len(b) {
+		t.Fatalf("record streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams differ at value %d", i)
+		}
+	}
+	// The cost model charges logical bytes, so both formats meter alike.
+	if v1.Stats() != v2.Stats() {
+		t.Errorf("stats differ across formats:\n v1 %+v\n v2 %+v", v1.Stats(), v2.Stats())
+	}
+}
+
+// TestWriterLifecycle pins the Close/Abort contract: Append after either
+// fails with ErrWriterClosed, Close is idempotent, Abort removes the file.
+func TestWriterLifecycle(t *testing.T) {
+	tbl := testTable(t, 3)
+
+	t.Run("AppendAfterClose", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "w.rec")
+		w, err := CreateFile(path, tbl.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(tbl.Row(0), tbl.Label(0)); err != nil {
+			t.Fatal(err)
+		}
+		f1, err1 := w.Close()
+		if err1 != nil {
+			t.Fatal(err1)
+		}
+		if err := w.Append(tbl.Row(1), tbl.Label(1)); !errors.Is(err, ErrWriterClosed) {
+			t.Errorf("Append after Close: err = %v, want ErrWriterClosed", err)
+		}
+		f2, err2 := w.Close()
+		if f2 != f1 || err2 != err1 {
+			t.Error("second Close did not return the first result")
+		}
+		if f1.NumRecords() != 1 {
+			t.Errorf("NumRecords = %d, want 1", f1.NumRecords())
+		}
+	})
+
+	t.Run("Abort", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "a.rec")
+		w, err := CreateFile(path, tbl.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(tbl.Row(0), tbl.Label(0)); err != nil {
+			t.Fatal(err)
+		}
+		w.Abort()
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("partial file survives Abort: %v", err)
+		}
+		if err := w.Append(tbl.Row(1), tbl.Label(1)); !errors.Is(err, ErrWriterClosed) {
+			t.Errorf("Append after Abort: err = %v, want ErrWriterClosed", err)
+		}
+		w.Abort() // second Abort is a no-op
+	})
+
+	t.Run("CreateFailureLeavesNoFile", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "missing")
+		if _, err := CreateFile(filepath.Join(dir, "x.rec"), tbl.Schema()); err == nil {
+			t.Error("CreateFile under a missing directory succeeded")
+		}
+	})
+}

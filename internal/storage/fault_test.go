@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestFile stores n synthetic records at path in the given format and
+// reopens the result.
+func writeTestFile(t *testing.T, path string, n int, version Version) *File {
+	t.Helper()
+	tbl := testTable(t, n)
+	w, err := CreateFileVersion(path, tbl.Schema(), version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(tbl.Row(i), tbl.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// collect scans every record into one flat slice for content comparison.
+func collect(t *testing.T, f *File) []float64 {
+	t.Helper()
+	var out []float64
+	err := f.Scan(func(rid int, vals []float64, label int) error {
+		out = append(out, vals...)
+		out = append(out, float64(label))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return out
+}
+
+// TestFaultInjectorRetryScan is the retry path end to end: a scan whose every
+// third read fails transiently must still succeed, deliver bit-identical
+// records, and account its retries.
+func TestFaultInjectorRetryScan(t *testing.T) {
+	for _, version := range []Version{FormatV1, FormatV2} {
+		name := "v2"
+		if version == FormatV1 {
+			name = "v1"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			f := writeTestFile(t, filepath.Join(dir, "clean.rec"), 5000, version)
+			want := collect(t, f)
+
+			fi := NewFaultInjector(1, 3)
+			f.ResetStats()
+			f.SetFaultInjector(fi)
+			got := collect(t, f)
+
+			if len(got) != len(want) {
+				t.Fatalf("faulty scan returned %d values, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("faulty scan diverges at value %d", i)
+				}
+			}
+			if fi.Injected() == 0 {
+				t.Error("no faults injected; the test exercised nothing")
+			}
+			if st := f.Stats(); st.Retries == 0 {
+				t.Errorf("Stats.Retries = 0 after %d injected faults", fi.Injected())
+			}
+		})
+	}
+}
+
+// TestFaultRetryExhausted pins the giving-up path: with a zero-retry policy
+// the first injected fault surfaces as a scan error.
+func TestFaultRetryExhausted(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "x.rec"), 5000, FormatV2)
+	f.SetRetryPolicy(RetryPolicy{MaxRetries: 0})
+	f.SetFaultInjector(NewFaultInjector(1, 2))
+	err := f.Scan(func(int, []float64, int) error { return nil })
+	if err == nil {
+		t.Fatal("scan succeeded with retries disabled under constant faults")
+	}
+	if !IsTransient(err) && !errors.Is(err, errInjected) {
+		t.Errorf("error lost its injected cause: %v", err)
+	}
+}
+
+// TestFaultScanRangeRetries covers the same retry machinery through
+// ScanRange's private-stats path, as the parallel scanner uses it.
+func TestFaultScanRangeRetries(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "r.rec"), 5000, FormatV2)
+	want := collect(t, f)
+
+	fi := NewFaultInjector(9, 2)
+	f.SetFaultInjector(fi)
+	lo, hi := 700, 4400
+	var st Stats
+	var got []float64
+	err := f.ScanRange(lo, hi, &st, func(rid int, vals []float64, label int) error {
+		got = append(got, vals...)
+		got = append(got, float64(label))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanRange under faults: %v", err)
+	}
+	stride := f.Schema().NumAttrs() + 1
+	want = want[lo*stride : hi*stride]
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d values, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range diverges at value %d", i)
+		}
+	}
+	if fi.Injected() == 0 || st.Retries == 0 {
+		t.Errorf("injected=%d retries=%d; fault path not exercised", fi.Injected(), st.Retries)
+	}
+	if st.RecordsRead != int64(hi-lo) {
+		t.Errorf("RecordsRead = %d, want %d", st.RecordsRead, hi-lo)
+	}
+}
+
+// TestFaultInjectorDeterministic pins that equal seeds produce equal fault
+// schedules — the property the build-level determinism tests lean on.
+func TestFaultInjectorDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	run := func(seed int64) (int64, int64, Stats) {
+		f := writeTestFile(t, filepath.Join(dir, "d.rec"), 3000, FormatV2)
+		fi := NewFaultInjector(seed, 3)
+		f.SetFaultInjector(fi)
+		collect(t, f)
+		return fi.Injected(), fi.ShortReads(), f.Stats()
+	}
+	i1, s1, st1 := run(42)
+	i2, s2, st2 := run(42)
+	if i1 != i2 || s1 != s2 || st1 != st2 {
+		t.Errorf("same seed, different schedules: (%d,%d,%+v) vs (%d,%d,%+v)", i1, s1, st1, i2, s2, st2)
+	}
+}
+
+// TestFaultMaxFaultsCap checks SetMaxFaults stops injection at the cap.
+func TestFaultMaxFaultsCap(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "cap.rec"), 5000, FormatV2)
+	fi := NewFaultInjector(1, 2)
+	fi.SetMaxFaults(1)
+	f.SetFaultInjector(fi)
+	collect(t, f)
+	if got := fi.Injected(); got != 1 {
+		t.Errorf("Injected = %d, want exactly 1 under SetMaxFaults(1)", got)
+	}
+}

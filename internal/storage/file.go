@@ -4,16 +4,60 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"cmpdt/internal/dataset"
 )
 
-// magic identifies the binary record file format.
-const magic = "CMPDT1\n"
+// The binary record file comes in two versions, distinguished by their magic
+// string. Both share the same header (a length-prefixed JSON blob) and the
+// same record encoding (one little-endian float64 per attribute plus a
+// uint16 class label).
+//
+//   - CMPDT1 stores records back to back after the header.
+//   - CMPDT2 groups the record stream into fixed-size disk pages, each
+//     carrying a CRC32C checksum of its payload, so corruption is detected
+//     at scan time instead of being silently trained on. Records may span
+//     page boundaries; the payload stream is identical to a V1 data region.
+const (
+	magicV1 = "CMPDT1\n"
+	magicV2 = "CMPDT2\n"
+)
+
+// Version selects the record file format a Writer produces.
+type Version int
+
+const (
+	// FormatV1 is the legacy unchecksummed layout.
+	FormatV1 Version = 1
+	// FormatV2 adds per-page CRC32C checksums (the default).
+	FormatV2 Version = 2
+)
+
+// pagePayload is the number of record-stream bytes stored per CMPDT2 disk
+// page; the remaining 4 bytes hold the page's CRC32C (Castagnoli), stored
+// little-endian ahead of the payload.
+const pagePayload = PageSize - 4
+
+// castagnoli is the CRC32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is wrapped by scan errors caused by a page whose checksum does
+// not match its payload.
+var ErrCorrupt = errors.New("page checksum mismatch")
+
+// ErrWriterClosed is returned by Writer.Append after Close or Abort.
+var ErrWriterClosed = errors.New("storage: writer is closed")
+
+// maxHeaderLen bounds the header length field read from disk, rejecting
+// implausible (malformed or hostile) inputs before allocating.
+const maxHeaderLen = 1 << 20
 
 // fileHeader is the JSON header stored after the magic string.
 type fileHeader struct {
@@ -22,18 +66,39 @@ type fileHeader struct {
 }
 
 // Writer streams records into a new binary store file.
+//
+// Lifecycle: CreateFile, Append repeatedly, then exactly one of Close
+// (finalize and open for reading) or Abort (discard). Append after either
+// returns ErrWriterClosed; Close is idempotent and returns its first result
+// again; any failure during Close removes the unusable partial file.
 type Writer struct {
-	path   string
-	f      *os.File
-	bw     *bufio.Writer
-	schema *dataset.Schema
-	n      int
-	buf    []byte
+	path    string
+	f       *os.File
+	bw      *bufio.Writer
+	schema  *dataset.Schema
+	n       int
+	buf     []byte
+	version Version
+	page    []byte // FormatV2: payload bytes awaiting a checksum seal
+
+	closed    bool
+	closeFile *File
+	closeErr  error
 }
 
-// CreateFile starts writing a binary record store at path, truncating any
-// existing file. Call Append for each record, then Close.
+// CreateFile starts writing a binary record store at path in the current
+// (checksummed) format, truncating any existing file. Call Append for each
+// record, then Close.
 func CreateFile(path string, schema *dataset.Schema) (*Writer, error) {
+	return CreateFileVersion(path, schema, FormatV2)
+}
+
+// CreateFileVersion is CreateFile with an explicit format version;
+// FormatV1 writes the legacy unchecksummed layout.
+func CreateFileVersion(path string, schema *dataset.Schema, version Version) (*Writer, error) {
+	if version != FormatV1 && version != FormatV2 {
+		return nil, fmt.Errorf("storage: unknown format version %d", int(version))
+	}
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,11 +110,15 @@ func CreateFile(path string, schema *dataset.Schema) (*Writer, error) {
 		return nil, err
 	}
 	w := &Writer{
-		path:   path,
-		f:      f,
-		bw:     bufio.NewWriterSize(f, 4*PageSize),
-		schema: schema,
-		buf:    make([]byte, recordBytes(schema)),
+		path:    path,
+		f:       f,
+		bw:      bufio.NewWriterSize(f, 4*PageSize),
+		schema:  schema,
+		buf:     make([]byte, recordBytes(schema)),
+		version: version,
+	}
+	if version == FormatV2 {
+		w.page = make([]byte, 0, pagePayload)
 	}
 	if err := w.writeHeader(); err != nil {
 		f.Close()
@@ -71,6 +140,10 @@ func (w *Writer) writeHeader() error {
 	for i := 0; i < headerPad; i++ {
 		hdr = append(hdr, ' ') // trailing spaces are ignored by json.Unmarshal
 	}
+	magic := magicV1
+	if w.version == FormatV2 {
+		magic = magicV2
+	}
 	if _, err := w.bw.WriteString(magic); err != nil {
 		return err
 	}
@@ -83,8 +156,25 @@ func (w *Writer) writeHeader() error {
 	return err
 }
 
+// sealPage checksums the pending payload and writes it as one disk page.
+func (w *Writer) sealPage() error {
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(w.page, castagnoli))
+	if _, err := w.bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.page); err != nil {
+		return err
+	}
+	w.page = w.page[:0]
+	return nil
+}
+
 // Append writes one record.
 func (w *Writer) Append(vals []float64, label int) error {
+	if w.closed {
+		return ErrWriterClosed
+	}
 	if len(vals) != w.schema.NumAttrs() {
 		return fmt.Errorf("storage: record has %d values, schema has %d attributes",
 			len(vals), w.schema.NumAttrs())
@@ -98,57 +188,120 @@ func (w *Writer) Append(vals []float64, label int) error {
 		off += 8
 	}
 	binary.LittleEndian.PutUint16(w.buf[off:], uint16(label))
-	if _, err := w.bw.Write(w.buf); err != nil {
-		return err
+	if w.version == FormatV1 {
+		if _, err := w.bw.Write(w.buf); err != nil {
+			return err
+		}
+		w.n++
+		return nil
+	}
+	rec := w.buf
+	for len(rec) > 0 {
+		take := pagePayload - len(w.page)
+		if take > len(rec) {
+			take = len(rec)
+		}
+		w.page = append(w.page, rec[:take]...)
+		rec = rec[take:]
+		if len(w.page) == pagePayload {
+			if err := w.sealPage(); err != nil {
+				return err
+			}
+		}
 	}
 	w.n++
 	return nil
 }
 
 // Close flushes, rewrites the header with the final record count, and opens
-// the finished store for reading.
+// the finished store for reading. It is idempotent — repeated calls return
+// the first call's result — and on any failure the partial file is removed
+// so no truncated store is left behind.
 func (w *Writer) Close() (*File, error) {
-	if err := w.bw.Flush(); err != nil {
+	if w.closed {
+		return w.closeFile, w.closeErr
+	}
+	w.closed = true
+	w.closeFile, w.closeErr = w.finish()
+	return w.closeFile, w.closeErr
+}
+
+func (w *Writer) finish() (*File, error) {
+	fail := func(err error) (*File, error) {
 		w.f.Close()
+		os.Remove(w.path)
 		return nil, err
+	}
+	if w.version == FormatV2 && len(w.page) > 0 {
+		if err := w.sealPage(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fail(err)
 	}
 	// Rewrite the header in place with the final record count, padded to the
 	// exact length reserved by writeHeader so record offsets are unchanged.
 	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n})
 	if err != nil {
-		w.f.Close()
-		return nil, err
+		return fail(err)
 	}
 	hdr0, _ := json.Marshal(fileHeader{Schema: w.schema, NumRecords: 0})
 	reserved := len(hdr0) + headerPad
 	if len(hdr) > reserved {
-		w.f.Close()
-		return nil, fmt.Errorf("storage: header grew past reserved %d bytes", reserved)
+		return fail(fmt.Errorf("storage: header grew past reserved %d bytes", reserved))
 	}
 	for len(hdr) < reserved {
 		hdr = append(hdr, ' ')
 	}
-	if _, err := w.f.WriteAt(hdr, int64(len(magic))+4); err != nil {
-		w.f.Close()
-		return nil, err
+	if _, err := w.f.WriteAt(hdr, int64(len(magicV1))+4); err != nil {
+		return fail(err)
 	}
 	if err := w.f.Close(); err != nil {
+		os.Remove(w.path)
 		return nil, err
 	}
-	return OpenFile(w.path)
+	f, err := OpenFile(w.path)
+	if err != nil {
+		os.Remove(w.path)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Abort discards an in-progress write, closing and removing the partial
+// file. Safe to call after Close (a no-op then).
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.closeErr = ErrWriterClosed
+	w.f.Close()
+	os.Remove(w.path)
 }
 
 // File is a read-only binary record store with metered scans.
+//
+// Stats meter the logical record volume (records x record size), identical
+// across FormatV1, FormatV2 and Mem, so the paper's I/O cost model stays
+// comparable between sources; FormatV2's 4-bytes-per-page checksum overhead
+// (~0.05%) is not charged.
 type File struct {
 	path    string
 	schema  *dataset.Schema
 	n       int
+	version Version
 	dataOff int64
 	recSize int64
 	stats   Stats
+
+	retry  RetryPolicy
+	faults *FaultInjector
 }
 
-// OpenFile opens an existing store.
+// OpenFile opens an existing store in either format, validating the header
+// and the file's physical size against its declared record count.
 func OpenFile(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -156,11 +309,17 @@ func OpenFile(path string) (*File, error) {
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
-	got := make([]byte, len(magic))
+	got := make([]byte, len(magicV1))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("storage: reading magic: %w", err)
 	}
-	if string(got) != magic {
+	var version Version
+	switch string(got) {
+	case magicV1:
+		version = FormatV1
+	case magicV2:
+		version = FormatV2
+	default:
 		return nil, fmt.Errorf("storage: %s is not a CMPDT record file", path)
 	}
 	var lenBuf [4]byte
@@ -168,6 +327,9 @@ func OpenFile(path string) (*File, error) {
 		return nil, fmt.Errorf("storage: reading header length: %w", err)
 	}
 	hdrLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("storage: header length %d exceeds limit %d", hdrLen, maxHeaderLen)
+	}
 	hdrBytes := make([]byte, hdrLen)
 	if _, err := io.ReadFull(br, hdrBytes); err != nil {
 		return nil, fmt.Errorf("storage: reading header: %w", err)
@@ -176,16 +338,48 @@ func OpenFile(path string) (*File, error) {
 	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
 		return nil, fmt.Errorf("storage: decoding header: %w", err)
 	}
+	if hdr.Schema == nil {
+		return nil, fmt.Errorf("storage: header of %s lacks a schema", path)
+	}
 	if err := hdr.Schema.Validate(); err != nil {
 		return nil, fmt.Errorf("storage: stored schema invalid: %w", err)
 	}
-	return &File{
+	if hdr.NumRecords < 0 {
+		return nil, fmt.Errorf("storage: negative record count %d", hdr.NumRecords)
+	}
+	out := &File{
 		path:    path,
 		schema:  hdr.Schema,
 		n:       hdr.NumRecords,
-		dataOff: int64(len(magic)) + 4 + int64(hdrLen),
+		version: version,
+		dataOff: int64(len(magicV1)) + 4 + int64(hdrLen),
 		recSize: recordBytes(hdr.Schema),
-	}, nil
+		retry:   DefaultRetryPolicy,
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if want := out.dataOff + out.diskDataLen(); st.Size() < want {
+		return nil, fmt.Errorf("storage: %s truncated: %d bytes, need %d for %d records",
+			path, st.Size(), want, out.n)
+	}
+	return out, nil
+}
+
+// diskDataLen returns the physical size of the data region implied by the
+// record count: raw records for V1, checksummed pages for V2.
+func (f *File) diskDataLen() int64 {
+	logical := int64(f.n) * f.recSize
+	if f.version == FormatV1 {
+		return logical
+	}
+	return logical + 4*pagesIn(logical)
+}
+
+// pagesIn returns how many CMPDT2 pages hold a logical byte count.
+func pagesIn(logical int64) int64 {
+	return (logical + pagePayload - 1) / pagePayload
 }
 
 // Schema implements Source.
@@ -197,62 +391,173 @@ func (f *File) NumRecords() int { return f.n }
 // Path returns the underlying file path.
 func (f *File) Path() string { return f.path }
 
-// Scan implements Source, reading the file sequentially with a page-sized
-// buffer and metering bytes, pages and records.
-func (f *File) Scan(fn func(rid int, vals []float64, label int) error) error {
-	file, err := os.Open(f.path)
-	if err != nil {
-		return err
-	}
-	defer file.Close()
-	if _, err := file.Seek(f.dataOff, io.SeekStart); err != nil {
-		return err
-	}
-	br := bufio.NewReaderSize(file, 4*PageSize)
-	k := f.schema.NumAttrs()
-	vals := make([]float64, k)
-	buf := make([]byte, f.recSize)
-	account := func(rids int) {
-		f.stats.RecordsRead += int64(rids)
-		bytes := int64(rids) * f.recSize
-		f.stats.BytesRead += bytes
-		f.stats.PagesRead += pagesFor(bytes)
-	}
-	for rid := 0; rid < f.n; rid++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			account(rid)
-			return fmt.Errorf("storage: record %d of %s: %w", rid, f.path, err)
+// Format returns the store's on-disk format version.
+func (f *File) Format() Version { return f.version }
+
+// SetRetryPolicy replaces the transient-error retry policy (default
+// DefaultRetryPolicy). Call before scanning; not safe concurrently with
+// scans.
+func (f *File) SetRetryPolicy(p RetryPolicy) { f.retry = p }
+
+// SetFaultInjector routes every subsequent read through fi (nil disables).
+// Call before scanning; not safe concurrently with scans.
+func (f *File) SetFaultInjector(fi *FaultInjector) { f.faults = fi }
+
+// readFullAt fills p from r at disk offset off, retrying transient failures
+// under the file's retry policy (counting each retry into stats) and
+// converting EOF into an explicit truncation error.
+func (f *File) readFullAt(r io.ReaderAt, p []byte, off int64, stats *Stats) error {
+	done := 0
+	failures := 0
+	for done < len(p) {
+		n, err := r.ReadAt(p[done:], off+int64(done))
+		done += n
+		if done == len(p) {
+			return nil
 		}
-		off := 0
-		for i := 0; i < k; i++ {
-			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-			off += 8
+		if err == nil {
+			continue
 		}
-		label := int(binary.LittleEndian.Uint16(buf[off:]))
-		if err := fn(rid, vals, label); err != nil {
-			account(rid + 1)
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("storage: %s truncated at offset %d: %w", f.path, off+int64(done), io.ErrUnexpectedEOF)
+		}
+		if !IsTransient(err) {
 			return err
 		}
+		if n > 0 {
+			failures = 0 // progress resets the consecutive-failure budget
+		}
+		failures++
+		if failures > f.retry.MaxRetries {
+			return fmt.Errorf("storage: read at offset %d of %s failed after %d retries: %w",
+				off+int64(done), f.path, f.retry.MaxRetries, err)
+		}
+		stats.Retries++
+		if f.retry.Backoff > 0 {
+			time.Sleep(f.retry.Backoff << (failures - 1))
+		}
 	}
-	account(f.n)
-	f.stats.Scans++
 	return nil
 }
 
-// ScanRange implements RangeSource: records lo <= rid < hi in rid order,
-// read through a private file descriptor so concurrent ranges do not share
-// seek position. I/O is accounted into stats when non-nil, into the
-// source's own counters otherwise (not safe under concurrent calls — see
-// RangeSource).
-func (f *File) ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
+// wrapReader applies the configured fault injector, if any.
+func (f *File) wrapReader(file *os.File) io.ReaderAt {
+	if f.faults != nil {
+		return f.faults.Wrap(file)
+	}
+	return file
+}
+
+// rawReader streams the V1 data region sequentially through retry-backed
+// positioned reads.
+type rawReader struct {
+	f        *File
+	r        io.ReaderAt
+	off, end int64
+	buf      []byte
+	avail    []byte
+	stats    *Stats
+}
+
+func (rr *rawReader) Read(p []byte) (int, error) {
+	if len(rr.avail) == 0 {
+		if rr.off >= rr.end {
+			return 0, io.EOF
+		}
+		chunk := int64(len(rr.buf))
+		if rem := rr.end - rr.off; rem < chunk {
+			chunk = rem
+		}
+		if err := rr.f.readFullAt(rr.r, rr.buf[:chunk], rr.off, rr.stats); err != nil {
+			return 0, err
+		}
+		rr.off += chunk
+		rr.avail = rr.buf[:chunk]
+	}
+	n := copy(p, rr.avail)
+	rr.avail = rr.avail[n:]
+	return n, nil
+}
+
+// pageReader streams the V2 payload, verifying each page's checksum as it
+// is loaded. A checksum mismatch surfaces as an error wrapping ErrCorrupt
+// and is counted into stats.CorruptPages.
+type pageReader struct {
+	f        *File
+	r        io.ReaderAt
+	page     int64 // next page index
+	numPages int64
+	dataLen  int64 // logical payload bytes in the whole file
+	buf      []byte
+	avail    []byte
+	stats    *Stats
+}
+
+func (pr *pageReader) Read(p []byte) (int, error) {
+	if len(pr.avail) == 0 {
+		if pr.page >= pr.numPages {
+			return 0, io.EOF
+		}
+		payloadLen := int64(pagePayload)
+		if rem := pr.dataLen - pr.page*pagePayload; rem < payloadLen {
+			payloadLen = rem
+		}
+		diskOff := pr.f.dataOff + pr.page*PageSize
+		if err := pr.f.readFullAt(pr.r, pr.buf[:4+payloadLen], diskOff, pr.stats); err != nil {
+			return 0, err
+		}
+		want := binary.LittleEndian.Uint32(pr.buf[:4])
+		payload := pr.buf[4 : 4+payloadLen]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			pr.stats.CorruptPages++
+			return 0, fmt.Errorf("storage: page %d of %s: %w (crc %08x, want %08x)",
+				pr.page, pr.f.path, ErrCorrupt, got, want)
+		}
+		pr.avail = payload
+		pr.page++
+	}
+	n := copy(p, pr.avail)
+	pr.avail = pr.avail[n:]
+	return n, nil
+}
+
+// recordReader returns a reader positioned at record startRec of the logical
+// record stream, whatever the on-disk format.
+func (f *File) recordReader(file *os.File, startRec int, stats *Stats) (io.Reader, error) {
+	r := f.wrapReader(file)
+	logOff := int64(startRec) * f.recSize
+	dataLen := int64(f.n) * f.recSize
+	if f.version == FormatV1 {
+		return &rawReader{
+			f: f, r: r,
+			off: f.dataOff + logOff, end: f.dataOff + dataLen,
+			buf: make([]byte, 4*PageSize), stats: stats,
+		}, nil
+	}
+	pr := &pageReader{
+		f: f, r: r,
+		page:     logOff / pagePayload,
+		numPages: pagesIn(dataLen),
+		dataLen:  dataLen,
+		buf:      make([]byte, PageSize),
+		stats:    stats,
+	}
+	if skip := logOff % pagePayload; skip > 0 {
+		if _, err := io.CopyN(io.Discard, pr, skip); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// scanRecords drives one metered pass over records lo <= rid < hi through a
+// private file descriptor; both Scan and ScanRange reduce to it.
+func (f *File) scanRecords(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi > f.n {
 		hi = f.n
-	}
-	if stats == nil {
-		stats = &f.stats
 	}
 	if lo >= hi {
 		return nil
@@ -262,10 +567,10 @@ func (f *File) ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float
 		return err
 	}
 	defer file.Close()
-	if _, err := file.Seek(f.dataOff+int64(lo)*f.recSize, io.SeekStart); err != nil {
+	br, err := f.recordReader(file, lo, stats)
+	if err != nil {
 		return err
 	}
-	br := bufio.NewReaderSize(file, 4*PageSize)
 	k := f.schema.NumAttrs()
 	vals := make([]float64, k)
 	buf := make([]byte, f.recSize)
@@ -295,6 +600,30 @@ func (f *File) ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float
 	return nil
 }
 
+// Scan implements Source, reading the file sequentially with page-sized
+// buffering and metering bytes, pages and records. Transient read errors
+// are retried under the file's RetryPolicy; checksum mismatches (FormatV2)
+// abort with an error wrapping ErrCorrupt.
+func (f *File) Scan(fn func(rid int, vals []float64, label int) error) error {
+	if err := f.scanRecords(0, f.n, &f.stats, fn); err != nil {
+		return err
+	}
+	f.stats.Scans++
+	return nil
+}
+
+// ScanRange implements RangeSource: records lo <= rid < hi in rid order,
+// read through a private file descriptor so concurrent ranges do not share
+// seek position. I/O is accounted into stats when non-nil, into the
+// source's own counters otherwise (not safe under concurrent calls — see
+// RangeSource). The retry and checksum behavior matches Scan.
+func (f *File) ScanRange(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
+	if stats == nil {
+		stats = &f.stats
+	}
+	return f.scanRecords(lo, hi, stats, fn)
+}
+
 // AddStats implements RangeSource.
 func (f *File) AddStats(s Stats) { f.stats.Add(s) }
 
@@ -312,7 +641,7 @@ func WriteTable(path string, t *dataset.Table) (*File, error) {
 	}
 	for i := 0; i < t.NumRecords(); i++ {
 		if err := w.Append(t.Row(i), t.Label(i)); err != nil {
-			w.f.Close()
+			w.Abort()
 			return nil, err
 		}
 	}

@@ -1,6 +1,10 @@
 package storage
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // RangeSource is a Source whose records can also be read by disjoint rid
 // ranges, enabling partitioned concurrent scans. Both Mem and File implement
@@ -20,12 +24,26 @@ type RangeSource interface {
 	AddStats(s Stats)
 }
 
+// cancelCheckEvery is how many records a parallel scan worker processes
+// between context checks; small enough that cancellation lands well within
+// one scan round, large enough to stay invisible in the scan hot loop.
+const cancelCheckEvery = 1024
+
 // ParallelScan partitions [0, NumRecords()) into at most workers contiguous
 // ranges and scans them concurrently, one goroutine per range. fn receives
 // the worker index (0 <= worker < workers) alongside each record; records
 // within one worker's range arrive in rid order, and each worker reuses its
 // own vals slice. fn must be safe for concurrent invocation across distinct
 // worker indices.
+//
+// Cancelling ctx aborts the pass: every worker checks the context every
+// cancelCheckEvery records and stops with ctx.Err(), so ParallelScan
+// returns (with all goroutines joined — none leak) within a bounded slice
+// of one scan. A nil ctx is treated as context.Background().
+//
+// A panic in fn or in the source is recovered and returned as that worker's
+// error instead of crashing the process; the other workers complete their
+// ranges normally.
 //
 // Accounting is race-free by construction: every worker meters into a
 // private Stats, and the totals are merged into the source exactly once,
@@ -35,10 +53,13 @@ type RangeSource interface {
 // so serial and parallel passes report bit-identical Stats. On error the
 // partial per-worker totals are still merged (without counting a completed
 // scan) and the error of the lowest-indexed failing worker is returned.
-func ParallelScan(src RangeSource, workers int, fn func(worker, rid int, vals []float64, label int) error) error {
+func ParallelScan(ctx context.Context, src RangeSource, workers int, fn func(worker, rid int, vals []float64, label int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := src.NumRecords()
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers < 1 {
 		workers = 1
@@ -48,7 +69,6 @@ func ParallelScan(src RangeSource, workers int, fn func(worker, rid int, vals []
 	}
 	stats := make([]Stats, workers)
 	errs := make([]error, workers)
-	panics := make([]any, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
@@ -57,10 +77,21 @@ func ParallelScan(src RangeSource, workers int, fn func(worker, rid int, vals []
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panics[w] = r
+					errs[w] = fmt.Errorf("storage: scan worker %d panicked: %v", w, r)
 				}
 			}()
+			if err := ctx.Err(); err != nil {
+				errs[w] = err
+				return
+			}
+			count := 0
 			errs[w] = src.ScanRange(lo, hi, &stats[w], func(rid int, vals []float64, label int) error {
+				count++
+				if count%cancelCheckEvery == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				return fn(w, rid, vals, label)
 			})
 		}(w, lo, hi)
@@ -82,13 +113,11 @@ func ParallelScan(src RangeSource, workers int, fn func(worker, rid int, vals []
 		}
 	}
 	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr == nil {
 		merged.Scans++
 	}
 	src.AddStats(merged)
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
-		}
-	}
 	return firstErr
 }

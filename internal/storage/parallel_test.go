@@ -1,10 +1,13 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"cmpdt/internal/dataset"
@@ -138,7 +141,7 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 				seen := make([]int32, n)
 				var mu sync.Mutex
 				perWorker := map[int]int{}
-				err := ParallelScan(src, workers, func(w, rid int, vals []float64, label int) error {
+				err := ParallelScan(context.Background(), src, workers, func(w, rid int, vals []float64, label int) error {
 					if vals[0] != float64(rid) || label != rid%3 {
 						return fmt.Errorf("rid %d: bad record %v/%d", rid, vals, label)
 					}
@@ -171,11 +174,72 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelScanCancel pins cancellation at the scan layer: a cancelled
+// context stops the pass with ctx.Err(), whether cancelled before the scan
+// starts or from inside a callback, and no full scan is counted.
+func TestParallelScanCancel(t *testing.T) {
+	for name, src := range rangeSources(t, 5000) {
+		t.Run(name+"/pre-cancelled", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			called := false
+			err := ParallelScan(ctx, src, 4, func(w, rid int, vals []float64, label int) error {
+				called = true
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if called {
+				t.Error("callback ran under a pre-cancelled context")
+			}
+		})
+	}
+	for name, src := range rangeSources(t, 5000) {
+		t.Run(name+"/mid-scan", func(t *testing.T) {
+			src.ResetStats()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var seen atomic.Int64
+			err := ParallelScan(ctx, src, 4, func(w, rid int, vals []float64, label int) error {
+				if seen.Add(1) == 100 {
+					cancel()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if got := src.Stats(); got.Scans != 0 {
+				t.Fatalf("cancelled pass counted as a full scan: %+v", got)
+			}
+		})
+	}
+}
+
+// TestParallelScanPanicRecovered pins that a panicking callback surfaces as
+// an error on the caller's goroutine instead of crashing the process.
+func TestParallelScanPanicRecovered(t *testing.T) {
+	for name, src := range rangeSources(t, 500) {
+		t.Run(name, func(t *testing.T) {
+			err := ParallelScan(context.Background(), src, 4, func(w, rid int, vals []float64, label int) error {
+				if rid == 250 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("err = %v, want a recovered-panic error", err)
+			}
+		})
+	}
+}
+
 func TestParallelScanError(t *testing.T) {
 	boom := errors.New("boom")
 	for name, src := range rangeSources(t, 200) {
 		t.Run(name, func(t *testing.T) {
-			err := ParallelScan(src, 4, func(w, rid int, vals []float64, label int) error {
+			err := ParallelScan(context.Background(), src, 4, func(w, rid int, vals []float64, label int) error {
 				if rid >= 150 {
 					return boom
 				}

@@ -22,6 +22,12 @@ type Stats struct {
 	PagesRead    int64
 	BytesWritten int64
 	PagesWritten int64
+	// Retries counts transient read failures that were retried (File
+	// sources under a RetryPolicy; always zero for Mem).
+	Retries int64
+	// CorruptPages counts pages whose checksum failed verification
+	// (FormatV2 File sources; corruption aborts the scan).
+	CorruptPages int64
 }
 
 // Add accumulates other into s.
@@ -32,6 +38,8 @@ func (s *Stats) Add(other Stats) {
 	s.PagesRead += other.PagesRead
 	s.BytesWritten += other.BytesWritten
 	s.PagesWritten += other.PagesWritten
+	s.Retries += other.Retries
+	s.CorruptPages += other.CorruptPages
 }
 
 // Source is a scannable training set. Implementations meter their I/O.
