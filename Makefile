@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint cover faults
+.PHONY: build test race bench bench-infer lint cover faults
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 # For real numbers: go test -bench=. -benchtime=3s ./internal/core/
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Inference baseline: times the pointer walk, the compiled flat tree and
+# the sharded batch path on the Function-2 tree, writing the
+# machine-readable numbers to BENCH_infer.json.
+bench-infer:
+	$(GO) run ./cmd/cmpbench -exp infer -json BENCH_infer.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,91 @@
+// Inference benchmarks: the pointer-tree walk versus the compiled flat tree
+// versus the sharded batch path, on the Function-2 benchmark tree. Run:
+//
+//	go test -bench=BenchmarkPredict -benchmem
+//
+// make bench-infer regenerates BENCH_infer.json, the machine-readable
+// baseline for these numbers, via cmd/cmpbench -exp infer.
+package cmpdt
+
+import (
+	"fmt"
+	"testing"
+
+	"cmpdt/internal/core"
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+	"cmpdt/internal/tree"
+)
+
+// benchRowPool is the number of records the single-record benchmarks cycle
+// through: a power of two (so the wrap is a mask, not a divide) small enough
+// to stay cache-resident, isolating the tree walk itself rather than DRAM
+// latency on the records.
+const benchRowPool = 4096
+
+// inferFixture trains the Function-2 benchmark tree once per benchmark and
+// returns it with its compiled form and the table it was trained on.
+func inferFixture(b *testing.B) (*tree.Tree, *tree.Compiled, *dataset.Table) {
+	b.Helper()
+	tbl := synth.Generate(synth.F2, benchN, 1)
+	res, err := core.Build(storage.NewMem(tbl), core.Default(core.CMPB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Tree, tree.Compile(res.Tree), tbl
+}
+
+// benchRows returns row views over the first benchRowPool records.
+func benchRows(tbl *dataset.Table) [][]float64 {
+	rows := make([][]float64, benchRowPool)
+	for i := range rows {
+		rows[i] = tbl.Row(i)
+	}
+	return rows
+}
+
+// BenchmarkPredictPointer is the baseline: one record per op through the
+// pointer-linked node graph.
+func BenchmarkPredictPointer(b *testing.B) {
+	t, _, tbl := inferFixture(b)
+	rows := benchRows(tbl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		predictSink += t.Predict(rows[i&(benchRowPool-1)])
+	}
+}
+
+// BenchmarkPredictFlat walks the compiled struct-of-arrays layout instead:
+// one record per op, zero allocs.
+func BenchmarkPredictFlat(b *testing.B) {
+	_, c, tbl := inferFixture(b)
+	rows := benchRows(tbl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		predictSink += c.Predict(rows[i&(benchRowPool-1)])
+	}
+}
+
+// BenchmarkPredictBatch classifies the whole benchmark table per op through
+// the sharded batch path, reporting ns/record across worker counts.
+func BenchmarkPredictBatch(b *testing.B) {
+	_, c, tbl := inferFixture(b)
+	n := tbl.NumRecords()
+	dst := make([]int, n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.PredictTable(dst, tbl, workers)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/record")
+		})
+	}
+}
+
+// predictSink defeats dead-code elimination of the prediction loops.
+var predictSink int

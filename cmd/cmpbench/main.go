@@ -23,7 +23,7 @@ import (
 	"cmpdt/internal/synth"
 )
 
-var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve"}
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
@@ -36,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "build parallelism for the CMP family (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of aligned tables")
+	inferJSON := flag.String("json", "", "for -exp infer: also write the baseline to this file (e.g. BENCH_infer.json)")
 	flag.Parse()
 
 	opts := experiments.Defaults()
@@ -127,6 +128,25 @@ func main() {
 			}
 			fmt.Println("== Figures 9 and 13: univariate vs multivariate trees on Function f ==")
 			experiments.PrintTrees(os.Stdout, uni, multi)
+			return nil
+		case "infer":
+			res, err := opts.Inference()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Inference: pointer vs compiled flat tree vs sharded batch ==")
+			experiments.PrintInference(os.Stdout, res)
+			if *inferJSON != "" {
+				f, err := os.Create(*inferJSON)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteInferJSON(f, res); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
 			return nil
 		case "curve":
 			rows, err := opts.LearningCurve(synth.F7)

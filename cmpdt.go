@@ -38,7 +38,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sync"
 
 	"cmpdt/internal/core"
@@ -273,6 +272,15 @@ type Stats struct {
 // Tree is a trained classifier.
 type Tree struct {
 	t *tree.Tree
+
+	compileOnce sync.Once
+	compiled    *tree.Compiled
+}
+
+// flat returns the tree's compiled form, built on first use and cached.
+func (t *Tree) flat() *tree.Compiled {
+	t.compileOnce.Do(func() { t.compiled = tree.Compile(t.t) })
+	return t.compiled
 }
 
 // Predict classifies one record and returns its class index.
@@ -478,41 +486,60 @@ func (d *Dataset) StratifiedSplit(trainFrac float64, seed int64) (train, test *D
 	return &Dataset{tbl: tr}, &Dataset{tbl: te}
 }
 
-// PredictBatch classifies every record of ds concurrently and returns the
-// predicted class indices in record order. Tree traversal is read-only, so
-// the work shards safely across GOMAXPROCS goroutines.
+// PredictBatch classifies every record of ds through the compiled flat tree
+// and returns the predicted class indices in record order. The work shards
+// across GOMAXPROCS goroutines; the result is identical for every worker
+// count.
 func (t *Tree) PredictBatch(ds *Dataset) []int {
-	n := ds.Len()
-	out := make([]int, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = t.t.Predict(ds.tbl.Row(i))
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = t.t.Predict(ds.tbl.Row(i))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	out := make([]int, ds.Len())
+	t.flat().PredictTable(out, ds.tbl, 0)
 	return out
 }
+
+// Compiled returns the tree flattened into a contiguous array layout whose
+// Predict is an iterative, allocation-free index walk — bit-identical to
+// Tree.Predict but considerably faster, and the representation to use on
+// serving hot paths. The compiled form is built once, cached, and safe for
+// concurrent use.
+func (t *Tree) Compiled() *CompiledTree {
+	return &CompiledTree{c: t.flat()}
+}
+
+// CompiledTree is an immutable, flattened form of a trained Tree optimized
+// for inference. All methods are safe for concurrent use.
+type CompiledTree struct {
+	c *tree.Compiled
+}
+
+// Predict classifies one record and returns its class index.
+func (ct *CompiledTree) Predict(vals []float64) int { return ct.c.Predict(vals) }
+
+// PredictClass classifies one record and returns its class name.
+func (ct *CompiledTree) PredictClass(vals []float64) string {
+	return ct.c.Schema.Classes[ct.c.Predict(vals)]
+}
+
+// PredictBatch classifies records[i] into dst[i] for every i and returns
+// dst, allocating only when dst is too short (pass a reused buffer for
+// allocation-free operation).
+func (ct *CompiledTree) PredictBatch(dst []int, records [][]float64) []int {
+	if len(dst) < len(records) {
+		dst = make([]int, len(records))
+	}
+	ct.c.PredictBatch(dst, records)
+	return dst
+}
+
+// PredictBatchWorkers is PredictBatch sharded over the given number of
+// goroutines (<= 0 selects GOMAXPROCS). Predictions are identical for every
+// worker count.
+func (ct *CompiledTree) PredictBatchWorkers(dst []int, records [][]float64, workers int) []int {
+	if len(dst) < len(records) {
+		dst = make([]int, len(records))
+	}
+	ct.c.PredictBatchWorkers(dst, records, workers)
+	return dst
+}
+
+// Nodes returns the number of nodes in the compiled tree.
+func (ct *CompiledTree) Nodes() int { return ct.c.Len() }

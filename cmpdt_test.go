@@ -325,3 +325,63 @@ func TestPredictBatchMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestCompiledTreeAPI covers the public compiled-inference surface: the
+// compiled form agrees with Predict record-for-record, batch paths are
+// deterministic across worker counts, and PredictBatch reuses a caller's
+// buffer.
+func TestCompiledTreeAPI(t *testing.T) {
+	ds := loanDataset(t, 8_000)
+	tree, err := Train(ds, Config{Algorithm: CMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tree.Compiled()
+	if ct.Nodes() != tree.Size() {
+		t.Fatalf("Compiled().Nodes() = %d, tree.Size() = %d", ct.Nodes(), tree.Size())
+	}
+	if ct2 := tree.Compiled(); ct2.Nodes() != ct.Nodes() {
+		t.Fatal("second Compiled() call disagrees")
+	}
+
+	records := make([][]float64, 500)
+	want := make([]int, len(records))
+	rng := rand.New(rand.NewSource(5))
+	for i := range records {
+		records[i] = []float64{18 + rng.Float64()*60, 20_000 + rng.Float64()*120_000,
+			rng.Float64() * 50_000, float64(rng.Intn(4))}
+		want[i] = tree.Predict(records[i])
+		if got := ct.Predict(records[i]); got != want[i] {
+			t.Fatalf("compiled Predict[%d] = %d, want %d", i, got, want[i])
+		}
+		if ct.PredictClass(records[i]) != tree.PredictClass(records[i]) {
+			t.Fatalf("PredictClass mismatch at %d", i)
+		}
+	}
+
+	dst := make([]int, len(records))
+	if got := ct.PredictBatch(dst, records); &got[0] != &dst[0] {
+		t.Error("PredictBatch did not reuse the provided buffer")
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("PredictBatch[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		out := ct.PredictBatchWorkers(nil, records, workers)
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: [%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+
+	// Tree.PredictBatch rides the same compiled path over a Dataset.
+	preds := tree.PredictBatch(ds)
+	for i := 0; i < ds.Len(); i++ {
+		if preds[i] != tree.Predict(ds.tbl.Row(i)) {
+			t.Fatalf("PredictBatch[%d] disagrees with Predict", i)
+		}
+	}
+}

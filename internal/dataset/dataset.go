@@ -186,6 +186,21 @@ func (t *Table) Row(i int) []float64 {
 	return t.values[i*k : i*k+k : i*k+k]
 }
 
+// RecordInto copies record i's attribute values into dst and returns it,
+// growing dst only if its capacity is insufficient. Unlike Row, the result
+// does not alias the table's storage, so callers that buffer records across
+// appends (or hand them to other goroutines alongside table mutation) can
+// reuse one buffer with no per-record allocation.
+func (t *Table) RecordInto(dst []float64, i int) []float64 {
+	k := t.schema.NumAttrs()
+	if cap(dst) < k {
+		dst = make([]float64, k)
+	}
+	dst = dst[:k]
+	copy(dst, t.values[i*k:i*k+k])
+	return dst
+}
+
 // Value returns attribute a of record i.
 func (t *Table) Value(i, a int) float64 {
 	return t.values[i*t.schema.NumAttrs()+a]

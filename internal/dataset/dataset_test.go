@@ -97,6 +97,31 @@ func TestTableAccessors(t *testing.T) {
 	}
 }
 
+func TestRecordInto(t *testing.T) {
+	tbl := MustNew(testSchema())
+	tbl.Append([]float64{1, 0}, 0)
+	tbl.Append([]float64{2, 1}, 1)
+
+	// Nil destination allocates; a roomy one is reused and resliced.
+	got := tbl.RecordInto(nil, 1)
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("RecordInto(nil, 1) = %v", got)
+	}
+	buf := make([]float64, 0, 8)
+	out := tbl.RecordInto(buf, 0)
+	if &out[0] != &buf[:1][0] {
+		t.Error("RecordInto did not reuse the provided buffer")
+	}
+	if len(out) != 2 || out[0] != 1 || out[1] != 0 {
+		t.Errorf("RecordInto(buf, 0) = %v", out)
+	}
+	// Unlike Row, the copy must not alias table storage.
+	out[0] = 99
+	if tbl.Value(0, 0) != 1 {
+		t.Error("RecordInto aliases table storage")
+	}
+}
+
 func TestTableSliceAndSplit(t *testing.T) {
 	tbl := MustNew(testSchema())
 	for i := 0; i < 10; i++ {

@@ -30,10 +30,20 @@ type Report struct {
 }
 
 // Evaluate computes the full classification report of a tree on a table.
+// The tree is compiled once and every metric derives from a single
+// prediction pass (the confusion matrix).
 func Evaluate(t *tree.Tree, tbl *dataset.Table) Report {
-	m := Confusion(t, tbl)
+	m := confusionCompiled(tree.Compile(t), tbl)
 	nc := len(m)
-	rep := Report{Confusion: m, Accuracy: Accuracy(t, tbl)}
+	correct, total := 0, tbl.NumRecords()
+	for c := 0; c < nc; c++ {
+		correct += m[c][c]
+	}
+	acc := 0.0
+	if total > 0 {
+		acc = float64(correct) / float64(total)
+	}
+	rep := Report{Confusion: m, Accuracy: acc}
 	macro, counted := 0.0, 0
 	for c := 0; c < nc; c++ {
 		support, predicted, hit := 0, 0, m[c][c]

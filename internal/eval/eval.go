@@ -300,40 +300,58 @@ func finish(algo string, src storage.Source, start time.Time, t *tree.Tree, aux,
 		TreeDepth:    t.Depth(),
 		Oblique:      oblique,
 	}
-	if trainTbl != nil {
-		r.TrainAccuracy = Accuracy(t, trainTbl)
-	}
-	if testTbl != nil {
-		r.TestAccuracy = Accuracy(t, testTbl)
+	if trainTbl != nil || testTbl != nil {
+		c := tree.Compile(t)
+		if trainTbl != nil {
+			r.TrainAccuracy = accuracyCompiled(c, trainTbl)
+		}
+		if testTbl != nil {
+			r.TestAccuracy = accuracyCompiled(c, testTbl)
+		}
 	}
 	return r
 }
 
 // Accuracy returns the fraction of tbl's records the tree classifies
-// correctly.
+// correctly. The tree is compiled once and evaluated through the flat
+// representation over zero-copy row views, so the per-record loop performs
+// no allocation.
 func Accuracy(t *tree.Tree, tbl *dataset.Table) float64 {
+	n := tbl.NumRecords()
+	if n == 0 {
+		return 0
+	}
+	return accuracyCompiled(tree.Compile(t), tbl)
+}
+
+func accuracyCompiled(c *tree.Compiled, tbl *dataset.Table) float64 {
 	n := tbl.NumRecords()
 	if n == 0 {
 		return 0
 	}
 	correct := 0
 	for i := 0; i < n; i++ {
-		if t.Predict(tbl.Row(i)) == tbl.Label(i) {
+		if c.Predict(tbl.Row(i)) == tbl.Label(i) {
 			correct++
 		}
 	}
 	return float64(correct) / float64(n)
 }
 
-// Confusion returns the confusion matrix counts[actual][predicted].
+// Confusion returns the confusion matrix counts[actual][predicted],
+// evaluating through the compiled flat tree like Accuracy.
 func Confusion(t *tree.Tree, tbl *dataset.Table) [][]int {
+	return confusionCompiled(tree.Compile(t), tbl)
+}
+
+func confusionCompiled(c *tree.Compiled, tbl *dataset.Table) [][]int {
 	nc := tbl.Schema().NumClasses()
 	m := make([][]int, nc)
 	for i := range m {
 		m[i] = make([]int, nc)
 	}
 	for i := 0; i < tbl.NumRecords(); i++ {
-		m[tbl.Label(i)][t.Predict(tbl.Row(i))]++
+		m[tbl.Label(i)][c.Predict(tbl.Row(i))]++
 	}
 	return m
 }

@@ -35,3 +35,47 @@ func TestAllAlgorithmsF2(t *testing.T) {
 		}
 	}
 }
+
+// TestCompiledEvalMatchesPointer pins the compiled-tree evaluation path:
+// Accuracy, Confusion and Evaluate must agree exactly with record-by-record
+// pointer-tree prediction.
+func TestCompiledEvalMatchesPointer(t *testing.T) {
+	full := synth.Generate(synth.F7, 6000, 5)
+	train, test := dataset.TrainTestSplit(full, 0.8, 3)
+	_, tr, err := Run(AlgoCMPB, storage.NewMem(train), nil, nil, Options{Intervals: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := test.NumRecords()
+	nc := test.Schema().NumClasses()
+	wantConf := make([][]int, nc)
+	for i := range wantConf {
+		wantConf[i] = make([]int, nc)
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		pred := tr.Predict(test.Row(i))
+		wantConf[test.Label(i)][pred]++
+		if pred == test.Label(i) {
+			correct++
+		}
+	}
+	wantAcc := float64(correct) / float64(n)
+
+	if got := Accuracy(tr, test); got != wantAcc {
+		t.Errorf("Accuracy = %v, pointer loop gives %v", got, wantAcc)
+	}
+	gotConf := Confusion(tr, test)
+	for a := range wantConf {
+		for p := range wantConf[a] {
+			if gotConf[a][p] != wantConf[a][p] {
+				t.Errorf("Confusion[%d][%d] = %d, want %d", a, p, gotConf[a][p], wantConf[a][p])
+			}
+		}
+	}
+	rep := Evaluate(tr, test)
+	if rep.Accuracy != wantAcc {
+		t.Errorf("Evaluate.Accuracy = %v, want %v", rep.Accuracy, wantAcc)
+	}
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -222,4 +224,48 @@ func TestLearningCurveExperiment(t *testing.T) {
 	if large <= small {
 		t.Errorf("full-data accuracy did not grow with N: %.4f -> %.4f", small, large)
 	}
+}
+
+// TestInference runs the inference benchmark at toy scale and sanity-checks
+// the rows and the JSON round-trip.
+func TestInference(t *testing.T) {
+	o := Defaults()
+	o.N = 4_000
+	res, err := o.Inference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(res.Rows))
+	}
+	var hotFlat, hotPtr float64
+	for _, r := range res.Rows {
+		if r.NsPerRecord <= 0 || r.MRecordsPerSec <= 0 || r.SpeedupVsPointer <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+		if r.Set == "hot" && r.Mode == "flat" {
+			hotFlat = r.NsPerRecord
+		}
+		if r.Set == "hot" && r.Mode == "pointer" {
+			hotPtr = r.NsPerRecord
+		}
+	}
+	if hotFlat == 0 || hotPtr == 0 {
+		t.Fatal("hot pointer/flat rows missing")
+	}
+	if hotFlat >= hotPtr {
+		t.Errorf("flat walk (%.1f ns) not faster than pointer walk (%.1f ns)", hotFlat, hotPtr)
+	}
+	var buf strings.Builder
+	if err := WriteInferJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back InferResult
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Records != res.Records || len(back.Rows) != len(res.Rows) {
+		t.Error("JSON round-trip lost data")
+	}
+	PrintInference(io.Discard, res)
 }

@@ -1,0 +1,271 @@
+package tree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cmpdt/internal/dataset"
+)
+
+// Compiled is a flattened, immutable form of a Tree built for inference.
+// The pointer-linked Node graph is laid out as a contiguous struct-of-arrays
+// (one slice per node field), with each internal node's two children in
+// adjacent slots so a root-to-leaf walk touches consecutive cache lines
+// instead of chasing heap pointers. Predict is an iterative index walk that
+// performs no allocation, so it can sit inside scan loops and be shared
+// freely across goroutines (all state is read-only after Compile).
+//
+// Predictions are bit-identical to Tree.Predict for every split kind,
+// including the NaN-missing and out-of-range-categorical routing.
+type Compiled struct {
+	// Schema is the schema the tree was trained with.
+	Schema *dataset.Schema
+
+	// Per-node arrays, indexed by node id; node 0 is the root. kind holds
+	// an opcode (see below), not a raw SplitKind: numeric splits compile to
+	// one of two opcodes according to their missing-value direction, so the
+	// hot numeric case needs neither a NaN branch nor a missLeft load.
+	kind     []uint8
+	missLeft []bool // missing values route to the left child (cat/linear)
+	attr     []int32
+	attrY    []int32   // SplitLinear second attribute
+	thr      []float64 // SplitNumeric threshold; SplitLinear C
+	coefA    []float64 // SplitLinear A
+	coefB    []float64 // SplitLinear B
+	subset   []uint64  // SplitCategorical bitmask
+	left     []int32   // left child id; the right child is left+1
+	class    []int32   // majority class (the prediction at leaves)
+}
+
+// Compiled opcodes. Numeric splits pick the comparison whose false branch
+// already matches the node's missing-value direction: every comparison with
+// NaN is false, so "v <= thr ? left : right" sends NaN right and
+// "v > thr ? right : left" sends NaN left — the majority-direction fallback
+// costs nothing on the numeric fast path.
+const (
+	opLeaf uint8 = iota
+	opNumMissRight
+	opNumMissLeft
+	opCategorical
+	opLinear
+)
+
+// Compile flattens t into its compiled form. The tree is not retained; the
+// compiled representation is self-contained and read-only.
+func Compile(t *Tree) *Compiled {
+	if t == nil || t.Root == nil {
+		panic("tree: Compile of nil tree")
+	}
+	n := t.Size()
+	c := &Compiled{
+		Schema:   t.Schema,
+		kind:     make([]uint8, n),
+		missLeft: make([]bool, n),
+		attr:     make([]int32, n),
+		attrY:    make([]int32, n),
+		thr:      make([]float64, n),
+		coefA:    make([]float64, n),
+		coefB:    make([]float64, n),
+		subset:   make([]uint64, n),
+		left:     make([]int32, n),
+		class:    make([]int32, n),
+	}
+	// Breadth-first assignment keeps sibling pairs adjacent and places the
+	// top of the tree — the slots every prediction visits — at the front of
+	// every array.
+	type slot struct {
+		n  *Node
+		id int32
+	}
+	queue := make([]slot, 1, n)
+	queue[0] = slot{t.Root, 0}
+	next := int32(1)
+	for head := 0; head < len(queue); head++ {
+		nd, id := queue[head].n, queue[head].id
+		c.class[id] = int32(nd.Class)
+		if nd.IsLeaf() {
+			c.kind[id] = opLeaf
+			c.left[id] = -1
+			continue
+		}
+		s := nd.Split
+		missLeft := nd.Left.N >= nd.Right.N
+		c.missLeft[id] = missLeft
+		switch s.Kind {
+		case SplitNumeric:
+			if missLeft {
+				c.kind[id] = opNumMissLeft
+			} else {
+				c.kind[id] = opNumMissRight
+			}
+			c.attr[id] = int32(s.Attr)
+			c.thr[id] = s.Threshold
+		case SplitCategorical:
+			c.kind[id] = opCategorical
+			c.attr[id] = int32(s.Attr)
+			c.subset[id] = s.Subset
+		case SplitLinear:
+			c.kind[id] = opLinear
+			c.attr[id] = int32(s.AttrX)
+			c.attrY[id] = int32(s.AttrY)
+			c.coefA[id] = s.A
+			c.coefB[id] = s.B
+			c.thr[id] = s.C
+		default:
+			panic(fmt.Sprintf("tree: Compile: unknown split kind %d", s.Kind))
+		}
+		c.left[id] = next
+		queue = append(queue, slot{nd.Left, next}, slot{nd.Right, next + 1})
+		next += 2
+	}
+	return c
+}
+
+// Len returns the number of nodes.
+func (c *Compiled) Len() int { return len(c.kind) }
+
+// Predict classifies one record, bit-identically to Tree.Predict: a NaN
+// attribute value — or a categorical value outside [0,64) — routes to the
+// child that saw more training records.
+func (c *Compiled) Predict(vals []float64) int {
+	// Reslicing every array to one shared length lets the compiler prove
+	// the single bounds check on kind[i] covers them all.
+	kind := c.kind
+	n := len(kind)
+	left := c.left[:n]
+	attr := c.attr[:n]
+	thr := c.thr[:n]
+	i := 0
+	for {
+		switch kind[i] {
+		case opNumMissRight: // v <= thr goes left; NaN compares false -> right
+			l := int(left[i])
+			if !(vals[attr[i]] <= thr[i]) {
+				l++
+			}
+			i = l
+		case opNumMissLeft: // v > thr goes right; NaN compares false -> left
+			l := int(left[i])
+			if vals[attr[i]] > thr[i] {
+				l++
+			}
+			i = l
+		case opLeaf:
+			return int(c.class[i])
+		case opCategorical:
+			l := int(left[i])
+			if v := vals[attr[i]]; v >= 0 && v < 64 { // excludes NaN
+				if c.subset[i]&(1<<uint(int(v))) == 0 {
+					l++
+				}
+			} else if !c.missLeft[i] {
+				l++
+			}
+			i = l
+		default: // opLinear
+			l := int(left[i])
+			x, y := vals[attr[i]], vals[c.attrY[i]]
+			if x == x && y == y { // neither NaN
+				if c.coefA[i]*x+c.coefB[i]*y > thr[i] {
+					l++
+				}
+			} else if !c.missLeft[i] {
+				l++
+			}
+			i = l
+		}
+	}
+}
+
+// PredictBatch classifies records[j] into dst[j] for every j, sequentially
+// and without allocating. dst must be at least as long as records.
+func (c *Compiled) PredictBatch(dst []int, records [][]float64) {
+	if len(dst) < len(records) {
+		panic(fmt.Sprintf("tree: PredictBatch dst len %d < %d records", len(dst), len(records)))
+	}
+	for j, r := range records {
+		dst[j] = c.Predict(r)
+	}
+}
+
+// PredictBatchWorkers is PredictBatch sharded over the given number of
+// goroutines. workers <= 0 selects GOMAXPROCS; the result is identical for
+// every worker count.
+func (c *Compiled) PredictBatchWorkers(dst []int, records [][]float64, workers int) {
+	n := len(records)
+	if len(dst) < n {
+		panic(fmt.Sprintf("tree: PredictBatchWorkers dst len %d < %d records", len(dst), n))
+	}
+	if serialShard(n, workers) {
+		c.PredictBatch(dst, records)
+		return
+	}
+	runShards(n, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = c.Predict(records[j])
+		}
+	})
+}
+
+// PredictTable classifies every row of tbl into dst, sharded over workers
+// goroutines (<= 0 selects GOMAXPROCS). Row storage is accessed through
+// zero-copy views, so no per-record allocation occurs.
+func (c *Compiled) PredictTable(dst []int, tbl *dataset.Table, workers int) {
+	n := tbl.NumRecords()
+	if len(dst) < n {
+		panic(fmt.Sprintf("tree: PredictTable dst len %d < %d records", len(dst), n))
+	}
+	if serialShard(n, workers) {
+		for j := 0; j < n; j++ {
+			dst[j] = c.Predict(tbl.Row(j))
+		}
+		return
+	}
+	runShards(n, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = c.Predict(tbl.Row(j))
+		}
+	})
+}
+
+// serialShard reports whether a sharded call over n items degenerates to a
+// single worker; callers run the loop inline then, avoiding even the
+// closure allocation runShards needs.
+func serialShard(n, workers int) bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers <= 1 || n <= 1
+}
+
+// runShards splits [0,n) into contiguous ranges and runs fn over them on
+// workers goroutines; workers <= 0 selects GOMAXPROCS.
+func runShards(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

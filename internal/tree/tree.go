@@ -37,13 +37,20 @@ type Split struct {
 	A, B, C      float64
 }
 
-// GoesLeft evaluates the split on a record.
+// GoesLeft evaluates the split on a record. Categorical values outside the
+// bitmask's [0,64) domain go right deterministically (prediction routes them
+// through the missing-value path before ever calling this; see
+// splitValueMissing).
 func (s *Split) GoesLeft(vals []float64) bool {
 	switch s.Kind {
 	case SplitNumeric:
 		return vals[s.Attr] <= s.Threshold
 	case SplitCategorical:
-		return s.Subset&(1<<uint(int(vals[s.Attr]))) != 0
+		v := vals[s.Attr]
+		if categoryOutOfRange(v) {
+			return false
+		}
+		return s.Subset&(1<<uint(int(v))) != 0
 	case SplitLinear:
 		return s.A*vals[s.AttrX]+s.B*vals[s.AttrY] <= s.C
 	default:
@@ -60,10 +67,23 @@ func (s *Split) GoesLeftValue(v float64) bool {
 	case SplitNumeric:
 		return v <= s.Threshold
 	case SplitCategorical:
+		if categoryOutOfRange(v) {
+			return false
+		}
 		return s.Subset&(1<<uint(int(v))) != 0
 	default:
 		return false
 	}
+}
+
+// categoryOutOfRange reports whether a categorical value falls outside the
+// [0,64) domain a Subset bitmask can represent (NaN included: every
+// comparison with NaN is false). Before this guard, a negative value
+// overflowed the shift to a huge count and a >= 64 one shifted to a zero
+// mask — both silently routing right; such values are now treated as
+// missing by prediction.
+func categoryOutOfRange(v float64) bool {
+	return !(v >= 0 && v < 64)
 }
 
 // Describe renders the split against a schema, e.g. "salary <= 65000" or
@@ -145,9 +165,11 @@ type Tree struct {
 	Schema *dataset.Schema
 }
 
-// Predict classifies one record. A NaN attribute value (a missing value)
-// routes to the child that saw more training records, the standard
-// majority-direction fallback.
+// Predict classifies one record. A NaN attribute value (a missing value) —
+// or a categorical value outside the [0,64) bitmask domain — routes to the
+// child that saw more training records, the standard majority-direction
+// fallback. For batch or hot-loop classification, Compile the tree and use
+// Compiled.Predict, which is bit-identical and considerably faster.
 func (t *Tree) Predict(vals []float64) int {
 	n := t.Root
 	for !n.IsLeaf() {
@@ -168,12 +190,15 @@ func (t *Tree) Predict(vals []float64) int {
 	return n.Class
 }
 
-// splitValueMissing reports whether the attribute(s) a split tests are NaN
-// in the record.
+// splitValueMissing reports whether the attribute(s) a split tests are
+// unusable in the record: NaN, or — for categorical splits — outside the
+// [0,64) domain of the subset bitmask.
 func splitValueMissing(s *Split, vals []float64) bool {
 	switch s.Kind {
 	case SplitLinear:
 		return math.IsNaN(vals[s.AttrX]) || math.IsNaN(vals[s.AttrY])
+	case SplitCategorical:
+		return categoryOutOfRange(vals[s.Attr])
 	default:
 		return math.IsNaN(vals[s.Attr])
 	}
