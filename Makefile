@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race bench bench-infer lint cover faults
+# Total-coverage floor enforced by cover-check (and CI).
+COVER_FLOOR ?= 70.0
+
+.PHONY: build test race bench bench-infer bench-gate lint cover cover-check faults
 
 build:
 	$(GO) build ./...
@@ -22,14 +25,38 @@ bench:
 bench-infer:
 	$(GO) run ./cmd/cmpbench -exp infer -json BENCH_infer.json
 
+# The CI regression gate: measure the inference paths fresh and compare
+# against the committed baseline; fails on >25% ns/record regression or any
+# allocs/record increase. The aggregate metrics report lands next to the
+# measurement for artifact upload.
+bench-gate:
+	$(GO) run ./cmd/cmpbench -exp infer -json /tmp/bench_current.json \
+		-metrics-json /tmp/bench_metrics.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_infer.json -current /tmp/bench_current.json
+	$(MAKE) bench
+
+# gofmt + go vet always; staticcheck and govulncheck when installed (CI
+# installs them — locally: go install honnef.co/go/tools/cmd/staticcheck@latest
+# and golang.org/x/vuln/cmd/govulncheck@latest).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping"; fi
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Enforce the coverage floor over the full profile.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # The robustness suite: fault-injection tests repeated (they are seeded, so
 # repetition guards the retry plumbing, not flakiness), plus cancellation

@@ -1,0 +1,135 @@
+// Command benchdiff is the CI bench gate: it compares a current inference
+// benchmark result (cmpbench -exp infer -json) against the committed
+// baseline (BENCH_infer.json) and exits nonzero when performance regressed.
+//
+// Rows are matched by (set, mode, workers) in occurrence order — the
+// baseline may legitimately contain duplicate keys (on a single-core
+// runner the batch row at workers=1 and workers=GOMAXPROCS coincide). A
+// row fails the gate when its ns_per_record exceeds the baseline's by more
+// than -max-regress (a ratio; 0.25 means +25%), or when allocs_per_record
+// increased beyond -alloc-slack at all. Rows present in only one file are
+// reported but do not fail the gate (the benchmark schema may grow).
+//
+// Usage:
+//
+//	cmpbench -exp infer -json current.json > /dev/null
+//	benchdiff -baseline BENCH_infer.json -current current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cmpdt/internal/experiments"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_infer.json", "committed baseline benchmark JSON")
+	current := flag.String("current", "", "freshly measured benchmark JSON (required)")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/record regression ratio (0.25 = +25%)")
+	allocSlack := flag.Float64("alloc-slack", 1e-3, "tolerated allocs/record increase (absolute; covers goroutine-pool jitter in sharded modes)")
+	flag.Parse()
+
+	code, err := diff(*baseline, *current, *maxRegress, *allocSlack, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// key identifies a benchmark row; equal keys may repeat, so rows are
+// matched by occurrence order within each key.
+type key struct {
+	Set     string
+	Mode    string
+	Workers int
+}
+
+func readResult(path string) (*experiments.InferResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r experiments.InferResult
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return &r, nil
+}
+
+// index groups rows by key, preserving occurrence order within a key.
+func index(r *experiments.InferResult) map[key][]experiments.InferRow {
+	m := make(map[key][]experiments.InferRow)
+	for _, row := range r.Rows {
+		k := key{row.Set, row.Mode, row.Workers}
+		m[k] = append(m[k], row)
+	}
+	return m
+}
+
+// diff compares current against baseline and returns the process exit code
+// (0 pass, 1 regression).
+func diff(basePath, curPath string, maxRegress, allocSlack float64, w io.Writer) (int, error) {
+	if curPath == "" {
+		return 0, fmt.Errorf("-current is required")
+	}
+	base, err := readResult(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := readResult(curPath)
+	if err != nil {
+		return 0, err
+	}
+
+	baseIdx := index(base)
+	failed := 0
+	seen := make(map[key]int)
+	for _, row := range cur.Rows {
+		k := key{row.Set, row.Mode, row.Workers}
+		i := seen[k]
+		seen[k]++
+		peers := baseIdx[k]
+		if i >= len(peers) {
+			fmt.Fprintf(w, "NEW   %s/%s/w%d: %.1f ns/rec (no baseline row, not gated)\n",
+				k.Set, k.Mode, k.Workers, row.NsPerRecord)
+			continue
+		}
+		b := peers[i]
+		ratio := row.NsPerRecord/b.NsPerRecord - 1
+		status := "ok   "
+		if ratio > maxRegress {
+			status = "FAIL "
+			failed++
+		}
+		allocNote := ""
+		if row.AllocsPerRecord > b.AllocsPerRecord+allocSlack {
+			status = "FAIL "
+			failed++
+			allocNote = fmt.Sprintf("  allocs/rec %.4f -> %.4f", b.AllocsPerRecord, row.AllocsPerRecord)
+		}
+		fmt.Fprintf(w, "%s %s/%s/w%d: %.1f -> %.1f ns/rec (%+.1f%%, limit +%.0f%%)%s\n",
+			status, k.Set, k.Mode, k.Workers, b.NsPerRecord, row.NsPerRecord,
+			100*ratio, 100*maxRegress, allocNote)
+	}
+	for k, peers := range baseIdx {
+		if missing := len(peers) - seen[k]; missing > 0 {
+			fmt.Fprintf(w, "GONE  %s/%s/w%d: %d baseline row(s) absent from current (not gated)\n",
+				k.Set, k.Mode, k.Workers, missing)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "benchdiff: %d regression(s) beyond the gate\n", failed)
+		return 1, nil
+	}
+	fmt.Fprintln(w, "benchdiff: within gate")
+	return 0, nil
+}

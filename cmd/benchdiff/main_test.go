@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmpdt/internal/experiments"
+)
+
+func writeResult(t *testing.T, dir, name string, r *experiments.InferResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleResult() *experiments.InferResult {
+	return &experiments.InferResult{
+		Workload: "Function 2", Records: 1000, Attrs: 9,
+		TreeNodes: 27, TreeDepth: 6, GOMAXPROCS: 1,
+		Rows: []experiments.InferRow{
+			{Set: "hot", Mode: "flat", Workers: 1, NsPerRecord: 20},
+			{Set: "scan", Mode: "batch", Workers: 1, NsPerRecord: 30},
+			// Duplicate key: on a single-core runner the GOMAXPROCS batch
+			// row collapses onto workers=1; matched by occurrence order.
+			{Set: "scan", Mode: "batch", Workers: 1, NsPerRecord: 31},
+		},
+	}
+}
+
+func TestWithinGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeResult(t, dir, "base.json", sampleResult())
+	cur := sampleResult()
+	for i := range cur.Rows {
+		cur.Rows[i].NsPerRecord *= 1.10 // +10% < the 25% gate
+	}
+	curPath := writeResult(t, dir, "cur.json", cur)
+
+	var out strings.Builder
+	code, err := diff(base, curPath, 0.25, 1e-3, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("expected pass, got exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestSyntheticTwoXSlowdownFails is the gate's acceptance check: a 2x
+// ns/record slowdown must fail the default 25% threshold.
+func TestSyntheticTwoXSlowdownFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeResult(t, dir, "base.json", sampleResult())
+	cur := sampleResult()
+	for i := range cur.Rows {
+		cur.Rows[i].NsPerRecord *= 2
+	}
+	curPath := writeResult(t, dir, "cur.json", cur)
+
+	var out strings.Builder
+	code, err := diff(base, curPath, 0.25, 1e-3, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("expected exit 1 on a 2x slowdown, got %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("expected FAIL rows in output:\n%s", out.String())
+	}
+}
+
+func TestAllocIncreaseFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeResult(t, dir, "base.json", sampleResult())
+	cur := sampleResult()
+	cur.Rows[0].AllocsPerRecord = 0.5 // serial mode must stay at 0
+	curPath := writeResult(t, dir, "cur.json", cur)
+
+	var out strings.Builder
+	code, err := diff(base, curPath, 0.25, 1e-3, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("expected exit 1 on an allocs/record increase, got %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/rec") {
+		t.Fatalf("expected an allocs/rec note in output:\n%s", out.String())
+	}
+}
+
+func TestNewAndGoneRowsDoNotGate(t *testing.T) {
+	dir := t.TempDir()
+	base := sampleResult()
+	cur := sampleResult()
+	cur.Rows = append(cur.Rows[:1], experiments.InferRow{
+		Set: "hot", Mode: "pointer", Workers: 1, NsPerRecord: 40,
+	})
+	basePath := writeResult(t, dir, "base.json", base)
+	curPath := writeResult(t, dir, "cur.json", cur)
+
+	var out strings.Builder
+	code, err := diff(basePath, curPath, 0.25, 1e-3, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("schema drift should not gate, got exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "NEW") || !strings.Contains(out.String(), "GONE") {
+		t.Fatalf("expected NEW and GONE notes:\n%s", out.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeResult(t, dir, "base.json", sampleResult())
+	if _, err := diff(base, "", 0.25, 1e-3, &strings.Builder{}); err == nil {
+		t.Fatal("expected error without -current")
+	}
+	if _, err := diff(base, filepath.Join(dir, "missing.json"), 0.25, 1e-3, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for missing current file")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diff(base, empty, 0.25, 1e-3, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for a result with no rows")
+	}
+}

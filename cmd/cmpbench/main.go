@@ -16,10 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime"
 	"strings"
 
 	"cmpdt/internal/experiments"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/synth"
 )
 
@@ -37,6 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of aligned tables")
 	inferJSON := flag.String("json", "", "for -exp infer: also write the baseline to this file (e.g. BENCH_infer.json)")
+	metricsJSON := flag.String("metrics-json", "", `write the aggregate observability report as JSON to this path ("-" for stderr)`)
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
 
 	opts := experiments.Defaults()
@@ -62,6 +67,25 @@ func main() {
 	opts.Seed = *seed
 	opts.UseDisk = *disk
 	opts.Dir = *dir
+
+	// One collector aggregates every build the selected experiments run;
+	// CMP-family rounds from successive builds append in execution order.
+	var col *obs.Collector
+	if *metricsJSON != "" || *httpAddr != "" {
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		col = obs.NewCollector(w)
+		opts.Eval.Obs = col
+	}
+	if *httpAddr != "" {
+		go func() {
+			err := http.ListenAndServe(*httpAddr, obs.Handler(col, nil))
+			fmt.Fprintln(os.Stderr, "cmpbench: -http:", err)
+		}()
+		fmt.Fprintf(os.Stderr, "cmpbench: serving /metrics and /debug/pprof on http://%s\n", *httpAddr)
+	}
 
 	run := func(name string) error {
 		switch name {
@@ -172,6 +196,31 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *metricsJSON != "" {
+		if err := writeMetrics(*metricsJSON, col.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "cmpbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics emits the aggregate observability report as indented JSON to
+// path, or to stderr when path is "-" (stdout carries the experiment
+// tables).
+func writeMetrics(path string, rep *obs.Report) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func emit(name, title string, rows []experiments.Row, csv bool) error {

@@ -24,16 +24,19 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"cmpdt"
+	"cmpdt/internal/obs"
 )
 
 func main() {
 	model := flag.String("model", "", "path to a saved tree model (required)")
 	batch := flag.Int("batch", 0, "records per prediction batch (0 = classify one record at a time)")
 	workers := flag.Int("workers", 0, "prediction goroutines per batch (0 = GOMAXPROCS; needs -batch)")
+	metricsJSON := flag.String("metrics-json", "", `write classification metrics as JSON to this path ("-" for stderr; stdout carries predictions)`)
 	flag.Parse()
-	if err := run(*model, *batch, *workers, os.Stdin, os.Stdout); err != nil {
+	if err := run(*model, *batch, *workers, *metricsJSON, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmpclassify:", err)
 		os.Exit(1)
 	}
@@ -100,7 +103,7 @@ func (m *inputMap) parseInto(vals []float64, rec []string, line int) error {
 	return nil
 }
 
-func run(modelPath string, batch, workers int, in io.Reader, out io.Writer) error {
+func run(modelPath string, batch, workers int, metricsJSON string, in io.Reader, out io.Writer) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -111,6 +114,14 @@ func run(modelPath string, batch, workers int, in io.Reader, out io.Writer) erro
 	if err != nil {
 		return err
 	}
+
+	// reg stays nil (every metric call a no-op) unless metrics were asked
+	// for, so the classification hot paths pay nothing by default.
+	var reg *obs.Registry
+	if metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
+	start := time.Now()
 
 	cr := csv.NewReader(in)
 	header, err := cr.Read()
@@ -129,9 +140,9 @@ func run(modelPath string, batch, workers int, in io.Reader, out io.Writer) erro
 
 	var total, correct int
 	if batch > 0 {
-		total, correct, err = classifyBatched(tree.Compiled(), im, cr, cw, batch, workers)
+		total, correct, err = classifyBatched(tree.Compiled(), im, cr, cw, batch, workers, reg)
 	} else {
-		total, correct, err = classifySerial(tree, im, cr, cw)
+		total, correct, err = classifySerial(tree, im, cr, cw, reg)
 	}
 	if err != nil {
 		return err
@@ -144,11 +155,38 @@ func run(modelPath string, batch, workers int, in io.Reader, out io.Writer) erro
 		fmt.Fprintf(os.Stderr, "accuracy %.4f over %d labeled records\n",
 			float64(correct)/float64(total), total)
 	}
+	if metricsJSON != "" {
+		reg.Counter("labeled_records").Add(int64(total))
+		reg.Counter("labeled_correct").Add(int64(correct))
+		rep := (*obs.Collector)(nil).Snapshot()
+		rep.Build.Algorithm = "classify"
+		rep.Build.WallNs = time.Since(start).Nanoseconds()
+		rep.Metrics = reg.Snapshot()
+		return writeMetrics(metricsJSON, rep)
+	}
 	return nil
 }
 
+// writeMetrics emits the report as indented JSON to path, or to stderr when
+// path is "-" (stdout carries the prediction CSV).
+func writeMetrics(path string, rep *obs.Report) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // classifySerial is the record-at-a-time path.
-func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writer) (total, correct int, err error) {
+func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writer, reg *obs.Registry) (total, correct int, err error) {
+	records := reg.Counter("records")
 	vals := make([]float64, len(im.schema.Attrs))
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -162,6 +200,7 @@ func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writ
 			return 0, 0, err
 		}
 		pred := tree.PredictClass(vals)
+		records.Inc()
 		if err := cw.Write(append(rec, pred)); err != nil {
 			return 0, 0, err
 		}
@@ -177,7 +216,10 @@ func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writ
 // classifyBatched streams records in groups of batch through the compiled
 // tree. One flat values buffer backs every record slot, so the steady state
 // allocates only the raw CSV rows the encoding/csv reader produces.
-func classifyBatched(ct *cmpdt.CompiledTree, im *inputMap, cr *csv.Reader, cw *csv.Writer, batch, workers int) (total, correct int, err error) {
+func classifyBatched(ct *cmpdt.CompiledTree, im *inputMap, cr *csv.Reader, cw *csv.Writer, batch, workers int, reg *obs.Registry) (total, correct int, err error) {
+	records := reg.Counter("records")
+	batches := reg.Counter("batches")
+	batchNs := reg.Histogram("batch_predict_ns", obs.DefaultLatencyBounds)
 	nAttrs := len(im.schema.Attrs)
 	backing := make([]float64, batch*nAttrs)
 	vals := make([][]float64, batch)
@@ -193,7 +235,11 @@ func classifyBatched(ct *cmpdt.CompiledTree, im *inputMap, cr *csv.Reader, cw *c
 		if len(rows) == 0 {
 			return nil
 		}
+		predictStart := time.Now()
 		ct.PredictBatchWorkers(preds[:len(rows)], vals[:len(rows)], workers)
+		batchNs.Observe(time.Since(predictStart).Nanoseconds())
+		batches.Inc()
+		records.Add(int64(len(rows)))
 		for i, rec := range rows {
 			pred := classes[preds[i]]
 			if err := cw.Write(append(rec, pred)); err != nil {

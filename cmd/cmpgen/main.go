@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"cmpdt/internal/dataset"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 	"cmpdt/internal/synth"
 )
@@ -29,22 +31,59 @@ func main() {
 	noise := flag.Float64("noise", 0, "label noise probability")
 	out := flag.String("out", "", "binary record store path (required unless -csv)")
 	csv := flag.Bool("csv", false, "write CSV to stdout instead of a binary store")
+	metricsJSON := flag.String("metrics-json", "", `write generation metrics as JSON to this path ("-" for stderr)`)
 	flag.Parse()
 
-	if err := run(*fn, *statlog, *n, *seed, *noise, *out, *csv, os.Stdout); err != nil {
+	if err := run(*fn, *statlog, *n, *seed, *noise, *out, *metricsJSON, *csv, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmpgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fnName, statlog string, n int, seed int64, noise float64, out string, csv bool, stdout io.Writer) error {
+// writeGenMetrics emits a schema-complete observability report describing
+// one generation run: the workload, record count, wall time, and the bytes
+// and pages landed at out (zero for CSV on stdout).
+func writeGenMetrics(path, workload string, records int, seed int64, out string, wall time.Duration) error {
+	rep := (*obs.Collector)(nil).Snapshot()
+	rep.Build.Algorithm = "generate:" + workload
+	rep.Build.Records = records
+	rep.Build.Seed = seed
+	rep.Build.WallNs = wall.Nanoseconds()
+	if out != "" {
+		if fi, err := os.Stat(out); err == nil {
+			rep.IO.BytesWritten = fi.Size()
+			rep.IO.PagesWritten = (fi.Size() + storage.PageSize - 1) / storage.PageSize
+		}
+	}
+	if path == "-" {
+		return rep.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(fnName, statlog string, n int, seed int64, noise float64, out, metricsJSON string, csv bool, stdout io.Writer) error {
+	start := time.Now()
 	if statlog != "" {
 		tbl, err := synth.Statlog(statlog, seed)
 		if err != nil {
 			return err
 		}
 		if csv {
-			return tbl.WriteCSV(stdout)
+			if err := tbl.WriteCSV(stdout); err != nil {
+				return err
+			}
+			if metricsJSON != "" {
+				return writeGenMetrics(metricsJSON, "statlog:"+statlog, tbl.NumRecords(), seed, "", time.Since(start))
+			}
+			return nil
 		}
 		if out == "" {
 			return fmt.Errorf("need -out or -csv")
@@ -54,6 +93,9 @@ func run(fnName, statlog string, n int, seed int64, noise float64, out string, c
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", f.NumRecords(), out)
+		if metricsJSON != "" {
+			return writeGenMetrics(metricsJSON, "statlog:"+statlog, f.NumRecords(), seed, out, time.Since(start))
+		}
 		return nil
 	}
 
@@ -66,7 +108,13 @@ func run(fnName, statlog string, n int, seed int64, noise float64, out string, c
 		if err := synth.GenerateTo(tbl, fn, n, seed, synth.Options{Noise: noise}); err != nil {
 			return err
 		}
-		return tbl.WriteCSV(stdout)
+		if err := tbl.WriteCSV(stdout); err != nil {
+			return err
+		}
+		if metricsJSON != "" {
+			return writeGenMetrics(metricsJSON, fn.String(), tbl.NumRecords(), seed, "", time.Since(start))
+		}
+		return nil
 	}
 	if out == "" {
 		return fmt.Errorf("need -out or -csv")
@@ -84,5 +132,8 @@ func run(fnName, statlog string, n int, seed int64, noise float64, out string, c
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d records of %s to %s\n", f.NumRecords(), fn, out)
+	if metricsJSON != "" {
+		return writeGenMetrics(metricsJSON, fn.String(), f.NumRecords(), seed, out, time.Since(start))
+	}
 	return nil
 }

@@ -20,10 +20,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
 	"cmpdt/internal/eval"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 )
 
@@ -40,6 +42,7 @@ func main() {
 	skipInvalid := flag.Bool("skip-invalid", false, "drop records with NaN/Inf features or out-of-range labels instead of aborting (CMP family)")
 	quiet := flag.Bool("quiet", false, "suppress the tree printout")
 	save := flag.String("save", "", "write the trained model as JSON to this path")
+	metricsJSON := flag.String("metrics-json", "", `write the observability report as JSON to this path ("-" for stdout)`)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -59,13 +62,13 @@ func main() {
 		Seed:            *seed,
 		SkipInvalid:     *skipInvalid,
 	}
-	if err := run(ctx, *algo, *data, *save, *quiet, opts, os.Stdout); err != nil {
+	if err := run(ctx, *algo, *data, *save, *metricsJSON, *quiet, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmptrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, algo, data, save string, quiet bool, opts eval.Options, stdout io.Writer) error {
+func run(ctx context.Context, algo, data, save, metricsJSON string, quiet bool, opts eval.Options, stdout io.Writer) error {
 	if data == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -73,9 +76,23 @@ func run(ctx context.Context, algo, data, save string, quiet bool, opts eval.Opt
 	if err != nil {
 		return err
 	}
+	if metricsJSON != "" {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		opts.Obs = obs.NewCollector(workers)
+	}
 	res, tree, err := eval.RunContext(ctx, algo, src, nil, nil, opts)
 	if err != nil {
 		return err
+	}
+	if metricsJSON != "" {
+		rep := eval.MetricsReport(opts.Obs, res)
+		rep.Build.Seed = opts.Seed
+		if err := writeMetrics(metricsJSON, rep); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stdout, "algorithm   %s\n", res.Algorithm)
 	fmt.Fprintf(stdout, "records     %d\n", res.N)
@@ -110,4 +127,21 @@ func run(ctx context.Context, algo, data, save string, quiet bool, opts eval.Opt
 		fmt.Fprint(stdout, tree.String())
 	}
 	return nil
+}
+
+// writeMetrics emits the observability report as indented JSON to path, or
+// to stdout when path is "-".
+func writeMetrics(path string, rep *obs.Report) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -39,10 +39,12 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"cmpdt/internal/core"
 	"cmpdt/internal/dataset"
 	"cmpdt/internal/eval"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 	"cmpdt/internal/tree"
 )
@@ -209,7 +211,38 @@ type Config struct {
 	// naming the first such record, ValidateSkip drops them
 	// deterministically and counts them in Stats.SkippedRecords.
 	Validation ValidationPolicy
+	// Observer, when non-nil, collects the build's observability report:
+	// per-round phase timings (scan, buffer sort, exact-split resolution,
+	// oblique search, decide, collect, prune), per-worker scan shares, and
+	// the storage layer's I/O counters. Retrieve it with Observer.Report
+	// after training. Nil adds no instrumentation cost.
+	Observer *Observer
 }
+
+// Observer receives one training run's observability report (see
+// Config.Observer). An Observer must not be shared by concurrent training
+// runs; reusing it sequentially overwrites the previous report.
+type Observer struct {
+	rep *BuildReport
+}
+
+// NewObserver returns an empty observer to hang on Config.Observer.
+func NewObserver() *Observer { return &Observer{} }
+
+// Report returns the last completed training run's report, or nil if no
+// observed run has finished.
+func (o *Observer) Report() *BuildReport {
+	if o == nil {
+		return nil
+	}
+	return o.rep
+}
+
+// BuildReport is the machine-readable observability report: schema_version,
+// per-round phase timings whose per-round scan counts sum exactly to the
+// storage layer's scan counter, build statistics, and I/O counters. It is
+// the same JSON document the tools emit under -metrics-json.
+type BuildReport = obs.Report
 
 // ValidationPolicy selects how training treats records it cannot learn
 // from. See Config.Validation.
@@ -357,9 +390,35 @@ func TrainFileContext(ctx context.Context, path string, cfg Config) (*Tree, *Sta
 }
 
 func trainSource(ctx context.Context, src storage.Source, cfg Config) (*Tree, *Stats, error) {
-	res, err := core.BuildContext(ctx, src, cfg.internal())
+	ccfg := cfg.internal()
+	var col *obs.Collector
+	var start time.Time
+	if cfg.Observer != nil {
+		workers := ccfg.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		col = obs.NewCollector(workers)
+		ccfg.Obs = col
+		start = time.Now()
+	}
+	res, err := core.BuildContext(ctx, src, ccfg)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.Observer != nil {
+		rep := col.Snapshot()
+		rep.Build.Algorithm = ccfg.Algorithm.String()
+		rep.Build.Records = src.NumRecords()
+		rep.Build.Workers = col.Workers()
+		rep.Build.Seed = ccfg.Seed
+		rep.Build.TreeNodes = res.Tree.Size()
+		rep.Build.TreeLeaves = res.Tree.Leaves()
+		rep.Build.TreeDepth = res.Tree.Depth()
+		rep.Build.WallNs = time.Since(start).Nanoseconds()
+		res.Stats.FillSummary(&rep.Build)
+		rep.IO = eval.IOSummary(res.IO)
+		cfg.Observer.rep = rep
 	}
 	st := &Stats{
 		Scans:           res.Stats.Scans,

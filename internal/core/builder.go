@@ -11,6 +11,7 @@ import (
 	"cmpdt/internal/exact"
 	"cmpdt/internal/gini"
 	"cmpdt/internal/histogram"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/prune"
 	"cmpdt/internal/quantile"
 	"cmpdt/internal/storage"
@@ -63,6 +64,7 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 		nc:     src.Schema().NumClasses(),
 		byTN:   make(map[*tree.Node]*bnode),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		obs:    cfg.Obs,
 	}
 	for a := 0; a < b.na; a++ {
 		if b.schema.Attrs[a].Kind == dataset.Numeric {
@@ -78,9 +80,12 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 			}
 		}
 	}
+	b.obs.StartRound(0) // round 0: the discretization pass
+	initSpan := b.obs.StartSpan(obs.PhaseInit)
 	if err := b.init(); err != nil {
 		return nil, err
 	}
+	initSpan.End()
 	b.makeRoot()
 
 	for b.round = 1; b.hasWork(); b.round++ {
@@ -90,6 +95,7 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		b.obs.StartRound(b.round)
 		if err := b.scan(); err != nil {
 			return nil, err
 		}
@@ -98,7 +104,9 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 		b.finishCollects()
 		b.decideScanned()
 		if b.cfg.Prune {
+			pruneSpan := b.obs.StartSpan(obs.PhasePrune)
 			b.applyPrune(true)
+			pruneSpan.End()
 		}
 		b.snapshotMemory()
 		if debugValidate {
@@ -107,7 +115,9 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 	}
 	b.finalizeRemaining()
 	if b.cfg.Prune {
+		pruneSpan := b.obs.StartSpan(obs.PhasePrune)
 		b.applyPrune(false)
+		pruneSpan.End()
 	}
 	t := &tree.Tree{Root: b.root.tn, Schema: b.schema}
 	b.stats.ObliqueSplits = t.CountLinearSplits()
@@ -140,6 +150,7 @@ type builder struct {
 	round int
 	stats Stats
 	rng   *rand.Rand
+	obs   *obs.Collector // nil when observability is off; all methods nil-safe
 }
 
 // ctxCheckMask throttles context polling in serial scan loops: the context
@@ -247,6 +258,12 @@ func (b *builder) init() error {
 	if err != nil && err != errSampleDone {
 		return err
 	}
+	if err == nil {
+		// The sample never filled, so the pass ran to completion and the
+		// storage layer counted a full scan; mirror it so the report's
+		// per-round scan totals match storage.Stats exactly.
+		b.obs.IncScans()
+	}
 	if sampleCap >= n {
 		b.stats.Scans++
 	}
@@ -307,6 +324,7 @@ func (b *builder) initFullPass(n int) error {
 	if err != nil {
 		return err
 	}
+	b.obs.IncScans() // the sketch pass completed a full storage scan
 	b.stats.Scans++
 	b.rootDisc = make([]*quantile.Discretizer, b.na)
 	for _, a := range b.numeric {
@@ -418,6 +436,7 @@ func (b *builder) scan() error {
 			return b.scanParallel(rs)
 		}
 	}
+	span := b.obs.StartSpan(obs.PhaseScan)
 	var skipped int64
 	checked := 0
 	err := b.src.Scan(func(rid int, vals []float64, label int) error {
@@ -440,6 +459,7 @@ func (b *builder) scan() error {
 	if err != nil {
 		return err
 	}
+	b.obs.AddWorkerScan(0, int64(checked), span.End())
 	b.finishScan(skipped)
 	return nil
 }
@@ -449,6 +469,7 @@ func (b *builder) scan() error {
 // dropped under ValidateSkip; validation is pure per-record, so the count
 // is identical every pass and is recorded rather than accumulated.
 func (b *builder) finishScan(skipped int64) {
+	b.obs.IncScans() // one completed full storage pass
 	b.stats.Scans++
 	b.stats.Rounds++
 	b.stats.SkippedRecords = skipped
@@ -580,13 +601,17 @@ func (b *builder) countInto(hs *histSet, disc []*quantile.Discretizer, xAttr int
 func (b *builder) resolveAll() {
 	pend := b.pendings
 	b.pendings = nil
+	span := b.obs.StartSpan(obs.PhaseResolve)
+	defer span.End()
 	if b.cfg.Workers > 1 && len(pend) > 1 {
+		sortSpan := b.obs.StartSpan(obs.PhaseSort)
 		b.parallelDo(len(pend), func(i int) {
 			p := pend[i]
 			if !p.dead && p.state == stPending && p.pending != nil {
 				p.buffer.sortByAttr(p.pending.attr)
 			}
 		})
+		sortSpan.End()
 	}
 	for _, p := range pend {
 		b.resolvePending(p)
@@ -623,7 +648,9 @@ func (b *builder) resolvePending(p *bnode) {
 	}
 	parentG := gini.Index(total)
 
+	sortSpan := b.obs.StartSpan(obs.PhaseSort)
 	p.buffer.sortByAttr(attr)
+	sortSpan.End()
 	cum := make([]int, b.nc)
 	cumN := 0
 	bestG := 2.0
@@ -944,6 +971,8 @@ func (b *builder) retire(n *bnode, to *bnode) {
 // own buffer and writes only node-local state, so ready nodes fan across
 // the worker pool.
 func (b *builder) finishCollects() {
+	span := b.obs.StartSpan(obs.PhaseCollect)
+	defer span.End()
 	var remaining, ready []*bnode
 	for _, c := range b.collects {
 		if c.dead || c.state != stCollect {
@@ -978,6 +1007,8 @@ func (b *builder) finishCollects() {
 // applied serially in the original node order, so every builder mutation
 // happens exactly as in a serial build.
 func (b *builder) decideScanned() {
+	span := b.obs.StartSpan(obs.PhaseDecide)
+	defer span.End()
 	toDecide := b.scanned
 	b.scanned = nil
 	ready := toDecide[:0:0]

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 	"cmpdt/internal/tree"
 )
@@ -143,6 +144,11 @@ type Config struct {
 	// (the zero value) aborts the build, ValidateSkip drops and counts
 	// them.
 	Validation ValidationPolicy
+	// Obs, when non-nil, collects per-round phase timings (scan, sort,
+	// resolve, oblique search, decide, collect, prune) and per-worker scan
+	// shares into the observability report. Nil (the default) adds no
+	// instrumentation cost to the build.
+	Obs *obs.Collector
 }
 
 // Default returns the configuration used throughout the evaluation.
@@ -274,6 +280,22 @@ type Stats struct {
 	RootSplitAttr      int
 	RootAliveIntervals int
 	RootSplitGini      float64
+}
+
+// FillSummary copies the build statistics into an observability report's
+// build summary (identification fields — algorithm, records, workers, tree
+// shape, wall time — are the caller's to fill).
+func (s Stats) FillSummary(b *obs.BuildSummary) {
+	b.Rounds = s.Rounds
+	b.Scans = s.Scans
+	b.BufferedRecords = s.BufferedRecords
+	b.PeakMemoryBytes = s.PeakMemoryBytes
+	b.PredictionHits = s.PredictionHits
+	b.PredictionTotal = s.PredictionTotal
+	b.DoubleSplits = s.DoubleSplits
+	b.ObliqueSplits = s.ObliqueSplits
+	b.Reverts = s.Reverts
+	b.SkippedRecords = s.SkippedRecords
 }
 
 // Result bundles a finished build.

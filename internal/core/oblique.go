@@ -5,6 +5,7 @@ import (
 
 	"cmpdt/internal/gini"
 	"cmpdt/internal/histogram"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/quantile"
 	"cmpdt/internal/tree"
 )
@@ -28,6 +29,8 @@ const obliqueSearchBins = 40
 // over every attribute-pair matrix of the view and returns the best line
 // found.
 func (b *builder) bestObliqueSplit(v *histView) (obliqueLine, bool) {
+	span := b.obs.StartSpan(obs.PhaseOblique)
+	defer span.End()
 	best := obliqueLine{gini: math.Inf(1)}
 	found := false
 	for _, om := range v.oblique {

@@ -18,6 +18,7 @@ package core
 import (
 	"sync"
 
+	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 )
 
@@ -82,7 +83,14 @@ func (b *builder) scanParallel(rs storage.RangeSource) error {
 	for w := range shards {
 		shards[w] = &scanShard{nodes: make([]*shardNode, len(b.nodes))}
 	}
-	err := storage.ParallelScan(b.ctx, rs, b.cfg.Workers, func(worker, rid int, vals []float64, label int) error {
+	span := b.obs.StartSpan(obs.PhaseScan)
+	var observe func(storage.WorkerScan)
+	if b.obs != nil {
+		observe = func(ws storage.WorkerScan) {
+			b.obs.AddWorkerScan(ws.Worker, ws.Records, ws.Ns)
+		}
+	}
+	err := storage.ParallelScanObserved(b.ctx, rs, b.cfg.Workers, observe, func(worker, rid int, vals []float64, label int) error {
 		if d := recordDefect(b.schema, vals, label); d != "" {
 			if b.cfg.Validation == ValidateStrict {
 				return errInvalidRecord(rid, d)
@@ -96,6 +104,7 @@ func (b *builder) scanParallel(rs storage.RangeSource) error {
 	if err != nil {
 		return err
 	}
+	span.End()
 	var skipped int64
 	for _, sh := range shards {
 		sh.mergeInto(b)

@@ -12,6 +12,7 @@ import (
 	"cmpdt/internal/clouds"
 	"cmpdt/internal/core"
 	"cmpdt/internal/dataset"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/rainforest"
 	"cmpdt/internal/sliq"
 	"cmpdt/internal/sprint"
@@ -69,6 +70,9 @@ type Options struct {
 	// features, out-of-range labels) instead of aborting; the count is
 	// reported in RunResult.Skipped.
 	SkipInvalid bool
+	// Obs, when non-nil, collects per-round phase timings for the CMP
+	// family (see internal/obs); assemble the report with MetricsReport.
+	Obs *obs.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +145,12 @@ type RunResult struct {
 
 	TrainAccuracy float64
 	TestAccuracy  float64
+
+	// IOStats is the source's full cumulative I/O accounting for the run.
+	IOStats storage.Stats
+	// CoreStats carries the CMP family's build statistics (nil for the
+	// baseline algorithms).
+	CoreStats *core.Stats
 }
 
 // Run trains the named algorithm over src, optionally computing train/test
@@ -180,6 +190,7 @@ func RunContext(ctx context.Context, algo string, src storage.Source, trainTbl, 
 		if opts.SkipInvalid {
 			cfg.Validation = core.ValidateSkip
 		}
+		cfg.Obs = opts.Obs
 		var res *core.Result
 		res, err = core.BuildContext(ctx, src, cfg)
 		if err == nil {
@@ -188,6 +199,8 @@ func RunContext(ctx context.Context, algo string, src storage.Source, trainTbl, 
 			mem = res.Stats.PeakMemoryBytes
 			r := finish(algo, src, start, t, aux, mem, res.Stats.ObliqueSplits, trainTbl, testTbl)
 			r.Skipped = res.Stats.SkippedRecords
+			st := res.Stats
+			r.CoreStats = &st
 			return r, t, nil
 		}
 	case AlgoSPRINT:
@@ -287,6 +300,7 @@ func finish(algo string, src storage.Source, start time.Time, t *tree.Tree, aux,
 	r := &RunResult{
 		Algorithm:    algo,
 		N:            src.NumRecords(),
+		IOStats:      io,
 		WallTime:     wall,
 		SimSeconds:   DefaultCostModel.Seconds(io.BytesRead + io.BytesWritten + aux),
 		Scans:        io.Scans,

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"cmpdt/internal/obs"
+	"cmpdt/internal/storage"
+)
+
+// MetricsReport assembles the -metrics-json observability report for one
+// run: the collector's per-round phase timings (empty but schema-complete
+// when c is nil or the algorithm is uninstrumented) completed with the
+// run's build and I/O summaries. The per-round scan totals come from the
+// collector's storage-completed passes, so they sum to res.IOStats.Scans
+// exactly.
+func MetricsReport(c *obs.Collector, res *RunResult) *obs.Report {
+	rep := c.Snapshot()
+	rep.Build = obs.BuildSummary{
+		Algorithm:       res.Algorithm,
+		Records:         res.N,
+		Workers:         c.Workers(),
+		TreeNodes:       res.TreeNodes,
+		TreeLeaves:      res.TreeLeaves,
+		TreeDepth:       res.TreeDepth,
+		WallNs:          res.WallTime.Nanoseconds(),
+		ObliqueSplits:   res.Oblique,
+		SkippedRecords:  res.Skipped,
+		PeakMemoryBytes: res.PeakMemBytes,
+	}
+	if st := res.CoreStats; st != nil {
+		st.FillSummary(&rep.Build)
+	}
+	rep.IO = IOSummary(res.IOStats)
+	return rep
+}
+
+// IOSummary mirrors a storage.Stats into the report's I/O section.
+func IOSummary(s storage.Stats) obs.IOSummary {
+	return obs.IOSummary{
+		Scans:        s.Scans,
+		RecordsRead:  s.RecordsRead,
+		BytesRead:    s.BytesRead,
+		PagesRead:    s.PagesRead,
+		BytesWritten: s.BytesWritten,
+		PagesWritten: s.PagesWritten,
+		Retries:      s.Retries,
+		CorruptPages: s.CorruptPages,
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cmpdt/internal/core"
+	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 	"cmpdt/internal/synth"
 	"cmpdt/internal/tree"
@@ -33,6 +34,9 @@ type InferRow struct {
 	// SpeedupVsPointer is the same set's pointer-walk ns/record divided
 	// by this row's (1.0 for the pointer rows themselves).
 	SpeedupVsPointer float64 `json:"speedup_vs_pointer"`
+	// AllocsPerRecord is heap allocations per classified record (mallocs
+	// metered over full passes; the CI bench gate fails on any increase).
+	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
 // InferResult is the inference benchmark baseline BENCH_infer.json records.
@@ -66,6 +70,22 @@ func timeMode(n int, predictAll func()) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(rounds*n)
 }
 
+// allocsPerRecord meters heap allocations per classified record: mallocs
+// delta over a handful of full passes after a warm-up pass. Serial modes
+// must report exactly 0; sharded modes pay a few goroutine/WaitGroup
+// allocations per pass, amortized over n records.
+func allocsPerRecord(n int, predictAll func()) float64 {
+	predictAll()
+	const passes = 4
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < passes; i++ {
+		predictAll()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(passes*n)
+}
+
 // inferSink keeps prediction loops observable so they cannot be eliminated.
 var inferSink int
 
@@ -88,6 +108,9 @@ func (o Opts) Inference() (*InferResult, error) {
 	}
 	t := res.Tree
 	c := tree.Compile(t)
+	if o.Eval.Obs != nil {
+		c.SetBatchObserver(o.Eval.Obs.Registry().Histogram("infer_batch_ns", obs.DefaultLatencyBounds))
+	}
 	n := tbl.NumRecords()
 	dst := make([]int, n)
 
@@ -99,7 +122,7 @@ func (o Opts) Inference() (*InferResult, error) {
 		TreeDepth:  t.Depth(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	add := func(set, mode string, workers int, ns, pointerNs float64) {
+	add := func(set, mode string, workers int, ns, pointerNs, allocs float64) {
 		out.Rows = append(out.Rows, InferRow{
 			Set:              set,
 			Mode:             mode,
@@ -107,6 +130,7 @@ func (o Opts) Inference() (*InferResult, error) {
 			NsPerRecord:      ns,
 			MRecordsPerSec:   1e3 / ns,
 			SpeedupVsPointer: pointerNs / ns,
+			AllocsPerRecord:  allocs,
 		})
 	}
 
@@ -120,44 +144,50 @@ func (o Opts) Inference() (*InferResult, error) {
 	for i := range rows {
 		rows[i] = tbl.Row(i)
 	}
-	hotPtr := timeMode(pool, func() {
+	hotPtrPass := func() {
 		s := 0
 		for i := 0; i < pool; i++ {
 			s += t.Predict(rows[i])
 		}
 		inferSink += s
-	})
-	hotFlat := timeMode(pool, func() {
+	}
+	hotFlatPass := func() {
 		s := 0
 		for i := 0; i < pool; i++ {
 			s += c.Predict(rows[i])
 		}
 		inferSink += s
-	})
-	add("hot", "pointer", 1, hotPtr, hotPtr)
-	add("hot", "flat", 1, hotFlat, hotPtr)
+	}
+	hotPtr := timeMode(pool, hotPtrPass)
+	hotFlat := timeMode(pool, hotFlatPass)
+	add("hot", "pointer", 1, hotPtr, hotPtr, allocsPerRecord(pool, hotPtrPass))
+	add("hot", "flat", 1, hotFlat, hotPtr, allocsPerRecord(pool, hotFlatPass))
 
 	// Scan regime: every mode streams the full table.
-	scanPtr := timeMode(n, func() {
+	scanPtrPass := func() {
 		s := 0
 		for i := 0; i < n; i++ {
 			s += t.Predict(tbl.Row(i))
 		}
 		inferSink += s
-	})
-	scanFlat := timeMode(n, func() {
+	}
+	scanFlatPass := func() {
 		s := 0
 		for i := 0; i < n; i++ {
 			s += c.Predict(tbl.Row(i))
 		}
 		inferSink += s
-	})
-	batch1 := timeMode(n, func() { c.PredictTable(dst, tbl, 1) })
-	batchP := timeMode(n, func() { c.PredictTable(dst, tbl, 0) })
-	add("scan", "pointer", 1, scanPtr, scanPtr)
-	add("scan", "flat", 1, scanFlat, scanPtr)
-	add("scan", "batch", 1, batch1, scanPtr)
-	add("scan", "batch", out.GOMAXPROCS, batchP, scanPtr)
+	}
+	batch1Pass := func() { c.PredictTable(dst, tbl, 1) }
+	batchPPass := func() { c.PredictTable(dst, tbl, 0) }
+	scanPtr := timeMode(n, scanPtrPass)
+	scanFlat := timeMode(n, scanFlatPass)
+	batch1 := timeMode(n, batch1Pass)
+	batchP := timeMode(n, batchPPass)
+	add("scan", "pointer", 1, scanPtr, scanPtr, allocsPerRecord(n, scanPtrPass))
+	add("scan", "flat", 1, scanFlat, scanPtr, allocsPerRecord(n, scanFlatPass))
+	add("scan", "batch", 1, batch1, scanPtr, allocsPerRecord(n, batch1Pass))
+	add("scan", "batch", out.GOMAXPROCS, batchP, scanPtr, allocsPerRecord(n, batchPPass))
 	return out, nil
 }
 
@@ -176,10 +206,10 @@ func PrintInference(w io.Writer, r *InferResult) {
 	fmt.Fprintf(w, "workload %s, %d records x %d attrs, tree %d nodes depth %d, GOMAXPROCS %d\n",
 		r.Workload, r.Records, r.Attrs, r.TreeNodes, r.TreeDepth, r.GOMAXPROCS)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "set\tmode\tworkers\tns/record\tMrec/s\tspeedup")
+	fmt.Fprintln(tw, "set\tmode\tworkers\tns/record\tMrec/s\tspeedup\tallocs/rec")
 	for _, row := range r.Rows {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%.2fx\n",
-			row.Set, row.Mode, row.Workers, row.NsPerRecord, row.MRecordsPerSec, row.SpeedupVsPointer)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%.2fx\t%.4f\n",
+			row.Set, row.Mode, row.Workers, row.NsPerRecord, row.MRecordsPerSec, row.SpeedupVsPointer, row.AllocsPerRecord)
 	}
 	tw.Flush()
 }

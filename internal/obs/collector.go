@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one of the builder's per-round work phases. The span
+// totals the report emits are keyed by these names; PhaseOblique nests
+// inside PhaseDecide and PhaseSort inside PhaseResolve (a nested phase's
+// time is counted in both), every other pair is disjoint.
+type Phase int
+
+const (
+	// PhaseInit is the discretization pass (sampling or sketching the
+	// equal-depth interval boundaries).
+	PhaseInit Phase = iota
+	// PhaseScan is the per-round training-set scan: routing every record
+	// into histograms and alive-interval buffers.
+	PhaseScan
+	// PhaseSort is alive-interval buffer sorting (nested inside
+	// PhaseResolve).
+	PhaseSort
+	// PhaseResolve is exact-split resolution from the sorted buffers.
+	PhaseResolve
+	// PhaseOblique is the linear-combination line search —
+	// giniNegativeSlope / giniPositiveSlope intercept walks (nested inside
+	// PhaseDecide when decisions run serially).
+	PhaseOblique
+	// PhaseDecide is split selection over completed histograms.
+	PhaseDecide
+	// PhaseCollect is in-memory subtree completion for bottomed-out nodes.
+	PhaseCollect
+	// PhasePrune is the PUBLIC(1) pruning pass.
+	PhasePrune
+	// NumPhases bounds the phase enum.
+	NumPhases
+)
+
+// phaseNames holds the stable JSON keys, indexed by Phase.
+var phaseNames = [NumPhases]string{
+	"init", "scan", "sort", "resolve", "oblique", "decide", "collect", "prune",
+}
+
+// String returns the phase's stable report key.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// roundRec accumulates one construction round's phase timings. Fields are
+// atomics because phases may run on worker goroutines (parallel pre-sort,
+// precomputed decisions, oblique walks).
+type roundRec struct {
+	round         int
+	scans         atomic.Int64 // completed full storage passes
+	phaseNs       [NumPhases]atomic.Int64
+	phaseCount    [NumPhases]atomic.Int64
+	workerRecords []atomic.Int64 // records routed per scan worker
+	workerNs      []atomic.Int64 // scan wall time per worker
+}
+
+// Collector gathers a build's phase spans and per-round counters. All
+// methods are safe for concurrent use and nil-safe, so instrumented code
+// needs no "is observability on?" branches beyond the pointer it already
+// carries. The zero build overhead case is a nil *Collector: every method
+// returns immediately.
+type Collector struct {
+	mu      sync.Mutex
+	rounds  []*roundRec
+	cur     atomic.Pointer[roundRec]
+	workers int
+	reg     *Registry
+}
+
+// NewCollector returns an empty collector whose scan-phase records are
+// sharded over the given worker count (values < 1 are treated as 1).
+func NewCollector(workers int) *Collector {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Collector{workers: workers, reg: NewRegistry()}
+}
+
+// Registry returns the collector's metrics registry (for auxiliary
+// counters and histograms beyond the phase spans). Nil-safe: returns nil.
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Workers returns the scan worker count the collector was created with.
+// Nil-safe (zero).
+func (c *Collector) Workers() int {
+	if c == nil {
+		return 0
+	}
+	return c.workers
+}
+
+// StartRound begins accumulation for the given construction round (round 0
+// is the discretization pass). Must be called from the build's serial
+// spine, before any span of that round starts.
+func (c *Collector) StartRound(round int) {
+	if c == nil {
+		return
+	}
+	r := &roundRec{
+		round:         round,
+		workerRecords: make([]atomic.Int64, c.workers),
+		workerNs:      make([]atomic.Int64, c.workers),
+	}
+	c.mu.Lock()
+	c.rounds = append(c.rounds, r)
+	c.mu.Unlock()
+	c.cur.Store(r)
+}
+
+// Span is an in-flight phase measurement. It is a value type: starting and
+// ending a span allocates nothing.
+type Span struct {
+	c     *Collector
+	phase Phase
+	start time.Time
+}
+
+// StartSpan begins timing one phase occurrence in the current round.
+// Nil-safe: with a nil collector (or before the first StartRound) the
+// returned span is inert.
+func (c *Collector) StartSpan(p Phase) Span {
+	if c == nil || c.cur.Load() == nil {
+		return Span{}
+	}
+	return Span{c: c, phase: p, start: time.Now()}
+}
+
+// End stops the span, accumulating its duration into the round it was
+// started in (spans that straddle a round boundary count toward the round
+// current at End; the builder's serial spine never does this). It returns
+// the elapsed nanoseconds (zero for an inert span).
+func (s Span) End() int64 {
+	if s.c == nil {
+		return 0
+	}
+	r := s.c.cur.Load()
+	if r == nil {
+		return 0
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	r.phaseNs[s.phase].Add(ns)
+	r.phaseCount[s.phase].Add(1)
+	return ns
+}
+
+// AddPhaseNs accumulates an externally measured duration into the current
+// round's phase — for call sites that cannot hold a Span across the work
+// (e.g. per-worker timings reported after a join). Nil-safe.
+func (c *Collector) AddPhaseNs(p Phase, ns int64) {
+	if c == nil {
+		return
+	}
+	if r := c.cur.Load(); r != nil {
+		r.phaseNs[p].Add(ns)
+		r.phaseCount[p].Add(1)
+	}
+}
+
+// IncScans records one completed full storage pass in the current round.
+// The per-round totals sum exactly to storage.Stats.Scans: partial passes
+// (an aborted discretization sample) are not counted by either.
+func (c *Collector) IncScans() {
+	if c == nil {
+		return
+	}
+	if r := c.cur.Load(); r != nil {
+		r.scans.Add(1)
+	}
+}
+
+// AddWorkerScan records one scan worker's share of the current round's
+// pass: how many records it routed and how long its range took. Worker
+// indices outside [0, workers) are dropped. Nil-safe.
+func (c *Collector) AddWorkerScan(worker int, records, ns int64) {
+	if c == nil {
+		return
+	}
+	r := c.cur.Load()
+	if r == nil || worker < 0 || worker >= len(r.workerRecords) {
+		return
+	}
+	r.workerRecords[worker].Add(records)
+	r.workerNs[worker].Add(ns)
+}

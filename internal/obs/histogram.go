@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into a fixed bucket layout chosen at
+// construction. Observe is a binary search plus three atomic adds — no
+// allocation, no lock — so it can sit on batch hot paths. Bucket bounds are
+// inclusive upper bounds; one implicit overflow bucket catches everything
+// above the last bound.
+type Histogram struct {
+	bounds []int64 // sorted inclusive upper bounds
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// DefaultLatencyBounds is the standard nanosecond bucket layout for
+// latency histograms: 1us to ~10s in quarter-decade steps.
+var DefaultLatencyBounds = []int64{
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+	250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+	25_000_000, 50_000_000, 100_000_000, 250_000_000, 500_000_000,
+	1_000_000_000, 2_500_000_000, 5_000_000_000, 10_000_000_000,
+}
+
+// NewHistogram returns a histogram over the given sorted inclusive upper
+// bounds (nil selects DefaultLatencyBounds).
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 until first observation
+	return h
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations. Nil-safe (zero).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with the
+// standard latency quantiles precomputed. Quantiles are bucket upper-bound
+// estimates: exact to within one bucket's width.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	SumNs  int64   `json:"sum_ns"`
+	MinNs  int64   `json:"min_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	// Buckets holds one cumulative count per configured bound, in bound
+	// order, plus a final overflow bucket.
+	Bounds  []int64 `json:"bounds_ns"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state. Nil-safe (zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	s.MaxNs = h.max.Load()
+	if s.Count > 0 {
+		s.MinNs = h.min.Load()
+		s.MeanNs = float64(s.SumNs) / float64(s.Count)
+	}
+	s.Bounds = append([]int64(nil), h.bounds...)
+	s.Buckets = make([]int64, len(h.counts))
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.P50Ns = s.quantile(0.50)
+	s.P90Ns = s.quantile(0.90)
+	s.P99Ns = s.quantile(0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile
+// observation — nearest-rank: the ceil(q*N)-th smallest — or the recorded
+// max for the overflow bucket.
+func (s HistogramSnapshot) quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q*float64(s.Count))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum > rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.MaxNs
+		}
+	}
+	return s.MaxNs
+}

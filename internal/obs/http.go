@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves live observability over HTTP for long runs:
+//
+//	/metrics      — the collector's current Report as JSON
+//	/debug/pprof/ — the standard runtime profiles (CPU, heap, goroutine…)
+//
+// fill, when non-nil, is called on each scrape to complete the snapshot
+// with whatever the collector cannot see (build/IO summaries so far). The
+// handler is read-only and safe to serve while a build or benchmark runs;
+// it is opt-in (cmpbench -http) and never started by library code.
+func Handler(c *Collector, fill func(*Report)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		rep := c.Snapshot()
+		if fill != nil {
+			fill(rep)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

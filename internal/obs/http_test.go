@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHandlerMetricsAndPprof exercises the HTTP surface without a real
+// socket: /metrics must serve the collector's report (with the fill hook
+// applied), /debug/pprof/ must serve the profile index.
+func TestHandlerMetricsAndPprof(t *testing.T) {
+	c := NewCollector(1)
+	c.StartRound(0)
+	c.IncScans()
+	h := Handler(c, func(r *Report) { r.Build.Algorithm = "filled" })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/metrics body is not JSON: %v", err)
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.Build.Algorithm != "filled" {
+		t.Error("fill hook must run on each scrape")
+	}
+	if len(rep.Rounds) != 1 || rep.Rounds[0].Scans != 1 {
+		t.Errorf("rounds = %+v", rep.Rounds)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+
+	// nil fill is valid: the handler serves the bare snapshot.
+	rec = httptest.NewRecorder()
+	Handler(c, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics (nil fill) status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(9)
+	g.SetMax(10)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+
+	real := &Counter{}
+	real.Add(2)
+	real.Inc()
+	if got := real.Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	rg := &Gauge{}
+	rg.Set(4)
+	rg.SetMax(2) // lower: no-op
+	rg.SetMax(7)
+	if got := rg.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryReuseAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name must return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name must return the same gauge")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", []int64{1}) {
+		t.Error("same name must return the same histogram (bounds ignored on reuse)")
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(11)
+	r.Histogram("h", nil).Observe(2_000)
+
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Gauges["g"] != 11 || snap.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	var nilReg *Registry
+	nilReg.Counter("x").Inc()
+	nilReg.Gauge("y").Set(1)
+	nilReg.Histogram("z", nil).Observe(1)
+	empty := nilReg.Snapshot()
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50) // second bucket
+	}
+	h.Observe(5000) // overflow
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.MinNs != 5 || s.MaxNs != 5000 {
+		t.Errorf("min/max = %d/%d, want 5/5000", s.MinNs, s.MaxNs)
+	}
+	// Quantile estimates report the containing bucket's upper bound.
+	if s.P50Ns != 10 {
+		t.Errorf("p50 = %d, want 10", s.P50Ns)
+	}
+	if s.P90Ns != 10 {
+		t.Errorf("p90 = %d, want 10 (90th observation closes the first bucket)", s.P90Ns)
+	}
+	if s.P99Ns != 100 {
+		t.Errorf("p99 = %d, want 100", s.P99Ns)
+	}
+	wantMean := float64(90*5+9*50+5000) / 100
+	if s.MeanNs != wantMean {
+		t.Errorf("mean = %v, want %v", s.MeanNs, wantMean)
+	}
+
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Snapshot().Count != 0 {
+		t.Error("nil histogram snapshot must be empty")
+	}
+}
+
+func TestCollectorRoundsAndSpans(t *testing.T) {
+	c := NewCollector(2)
+	if c.Workers() != 2 {
+		t.Fatalf("workers = %d", c.Workers())
+	}
+
+	c.StartRound(0)
+	sp := c.StartSpan(PhaseInit)
+	if ns := sp.End(); ns < 0 {
+		t.Errorf("span elapsed = %d", ns)
+	}
+	c.IncScans()
+
+	c.StartRound(1)
+	c.AddPhaseNs(PhaseScan, 1234)
+	c.IncScans()
+	c.AddWorkerScan(0, 10, 100)
+	c.AddWorkerScan(1, 30, 300)
+	c.AddWorkerScan(99, 5, 5) // out of range: dropped
+
+	rep := c.Snapshot()
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(rep.Rounds))
+	}
+	if rep.Rounds[0].Scans != 1 || rep.Rounds[1].Scans != 1 {
+		t.Errorf("per-round scans = %d,%d want 1,1", rep.Rounds[0].Scans, rep.Rounds[1].Scans)
+	}
+	r1 := rep.Rounds[1]
+	if r1.Phases["scan"].Ns != 1234 || r1.Phases["scan"].Count != 1 {
+		t.Errorf("scan phase = %+v", r1.Phases["scan"])
+	}
+	if r1.WorkerRecords[0] != 10 || r1.WorkerRecords[1] != 30 {
+		t.Errorf("worker records = %v", r1.WorkerRecords)
+	}
+	// imbalance: max 30 over mean 20.
+	if got := r1.ShardImbalance; got < 1.49 || got > 1.51 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+	if rep.PhaseTotals["init"].Count != 1 {
+		t.Errorf("phase totals init = %+v", rep.PhaseTotals["init"])
+	}
+	// Every phase name must be present in every round and in the totals.
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		if _, ok := rep.PhaseTotals[name]; !ok {
+			t.Errorf("phase %q missing from totals", name)
+		}
+		for i, r := range rep.Rounds {
+			if _, ok := r.Phases[name]; !ok {
+				t.Errorf("phase %q missing from round %d", name, i)
+			}
+		}
+	}
+}
+
+func TestCollectorNilSafety(t *testing.T) {
+	var c *Collector
+	c.StartRound(0)
+	sp := c.StartSpan(PhaseScan)
+	if sp.End() != 0 {
+		t.Error("nil collector span must be inert")
+	}
+	c.AddPhaseNs(PhaseScan, 1)
+	c.IncScans()
+	c.AddWorkerScan(0, 1, 1)
+	if c.Workers() != 0 {
+		t.Error("nil collector workers must be 0")
+	}
+	if c.Registry() != nil {
+		t.Error("nil collector registry must be nil")
+	}
+	rep := c.Snapshot()
+	if rep == nil || rep.SchemaVersion != ReportSchemaVersion {
+		t.Fatal("nil collector must snapshot a schema-complete report")
+	}
+	if len(rep.PhaseTotals) != int(NumPhases) {
+		t.Errorf("phase totals = %d entries, want %d", len(rep.PhaseTotals), NumPhases)
+	}
+
+	// Spans before the first StartRound are also inert.
+	c2 := NewCollector(1)
+	if c2.StartSpan(PhaseScan).End() != 0 {
+		t.Error("span before StartRound must be inert")
+	}
+}
+
+func TestCollectorConcurrentSpans(t *testing.T) {
+	c := NewCollector(4)
+	c.StartRound(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := c.StartSpan(PhaseOblique)
+				sp.End()
+				c.AddWorkerScan(w, 1, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := c.Snapshot()
+	if got := rep.Rounds[0].Phases["oblique"].Count; got != 400 {
+		t.Errorf("oblique count = %d, want 400", got)
+	}
+	for w, rec := range rep.Rounds[0].WorkerRecords {
+		if rec != 100 {
+			t.Errorf("worker %d records = %d, want 100", w, rec)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseScan.String() != "scan" || PhasePrune.String() != "prune" {
+		t.Error("phase names drifted — the JSON schema pins them")
+	}
+	if Phase(-1).String() != "unknown" || NumPhases.String() != "unknown" {
+		t.Error("out-of-range phases must stringify as unknown")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := NewCollector(1)
+	c.StartRound(0)
+	c.IncScans()
+	c.Registry().Counter("x").Inc()
+	rep := c.Snapshot()
+
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != ReportSchemaVersion || back.Rounds[0].Scans != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Metrics.Counters["x"] != 1 {
+		t.Errorf("metrics lost: %+v", back.Metrics)
+	}
+
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "oblique") {
+		t.Error("text rendering must list phases")
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// ReportSchemaVersion identifies the emitted JSON layout. The CI bench
+// gate (cmd/benchdiff) and the golden-file schema test pin this contract:
+// bump it when a key is added, renamed, or removed.
+const ReportSchemaVersion = 1
+
+// PhaseStat is one phase's accumulated time.
+type PhaseStat struct {
+	Ns    int64 `json:"ns"`
+	Count int64 `json:"count"`
+}
+
+// RoundReport is one construction round's phase breakdown. Round 0 is the
+// discretization pass; rounds 1..N are scan rounds.
+type RoundReport struct {
+	Round int `json:"round"`
+	// Scans counts completed full storage passes this round; the sum over
+	// all rounds equals storage.Stats.Scans exactly.
+	Scans int64 `json:"scans"`
+	// Phases maps every phase name (present even when zero) to its time.
+	Phases map[string]PhaseStat `json:"phases"`
+	// WorkerRecords and WorkerNs report each scan worker's share of this
+	// round's pass, indexed by worker.
+	WorkerRecords []int64 `json:"worker_records"`
+	WorkerNs      []int64 `json:"worker_ns"`
+	// ShardImbalance is max/mean over WorkerRecords (1.0 when balanced,
+	// serial, or no records were routed this round).
+	ShardImbalance float64 `json:"shard_imbalance"`
+}
+
+// BuildSummary mirrors core.Stats into the report (obs cannot import core:
+// core imports obs).
+type BuildSummary struct {
+	Algorithm       string `json:"algorithm"`
+	Records         int    `json:"records"`
+	Workers         int    `json:"workers"`
+	Seed            int64  `json:"seed"`
+	Rounds          int    `json:"rounds"`
+	Scans           int    `json:"scans"`
+	BufferedRecords int64  `json:"buffered_records"`
+	PeakMemoryBytes int64  `json:"peak_memory_bytes"`
+	PredictionHits  int    `json:"prediction_hits"`
+	PredictionTotal int    `json:"prediction_total"`
+	DoubleSplits    int    `json:"double_splits"`
+	ObliqueSplits   int    `json:"oblique_splits"`
+	Reverts         int    `json:"reverts"`
+	SkippedRecords  int64  `json:"skipped_records"`
+	TreeNodes       int    `json:"tree_nodes"`
+	TreeLeaves      int    `json:"tree_leaves"`
+	TreeDepth       int    `json:"tree_depth"`
+	WallNs          int64  `json:"wall_ns"`
+}
+
+// IOSummary mirrors storage.Stats into the report.
+type IOSummary struct {
+	Scans        int64 `json:"scans"`
+	RecordsRead  int64 `json:"records_read"`
+	BytesRead    int64 `json:"bytes_read"`
+	PagesRead    int64 `json:"pages_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	PagesWritten int64 `json:"pages_written"`
+	Retries      int64 `json:"retries"`
+	CorruptPages int64 `json:"corrupt_pages"`
+}
+
+// Report is the machine-readable observability report: the -metrics-json
+// contract. Key set and nesting are stable for a given SchemaVersion;
+// timing values (ns fields, imbalance) vary run to run, everything else is
+// deterministic under a fixed seed and worker count.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Build         BuildSummary `json:"build"`
+	IO            IOSummary    `json:"io"`
+	// PhaseTotals sums each phase over every round; every phase name is
+	// always present.
+	PhaseTotals map[string]PhaseStat `json:"phase_totals"`
+	Rounds      []RoundReport        `json:"rounds"`
+	// Metrics snapshots the auxiliary registry (inference latency
+	// histograms, tool-specific counters).
+	Metrics RegistrySnapshot `json:"metrics"`
+}
+
+// Snapshot assembles the collector's rounds into a Report. Build and IO
+// summaries are left zero for the caller to fill (the collector cannot see
+// them). Nil-safe: a nil collector yields an empty but schema-complete
+// report.
+func (c *Collector) Snapshot() *Report {
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		PhaseTotals:   emptyPhases(),
+		Rounds:        []RoundReport{},
+		Metrics:       (*Registry)(nil).Snapshot(),
+	}
+	if c == nil {
+		return rep
+	}
+	c.mu.Lock()
+	rounds := append([]*roundRec(nil), c.rounds...)
+	c.mu.Unlock()
+	for _, r := range rounds {
+		rr := RoundReport{
+			Round:          r.round,
+			Scans:          r.scans.Load(),
+			Phases:         emptyPhases(),
+			WorkerRecords:  make([]int64, len(r.workerRecords)),
+			WorkerNs:       make([]int64, len(r.workerNs)),
+			ShardImbalance: 1,
+		}
+		for p := Phase(0); p < NumPhases; p++ {
+			st := PhaseStat{Ns: r.phaseNs[p].Load(), Count: r.phaseCount[p].Load()}
+			rr.Phases[p.String()] = st
+			tot := rep.PhaseTotals[p.String()]
+			tot.Ns += st.Ns
+			tot.Count += st.Count
+			rep.PhaseTotals[p.String()] = tot
+		}
+		var sum, max int64
+		for w := range r.workerRecords {
+			rr.WorkerRecords[w] = r.workerRecords[w].Load()
+			rr.WorkerNs[w] = r.workerNs[w].Load()
+			sum += rr.WorkerRecords[w]
+			if rr.WorkerRecords[w] > max {
+				max = rr.WorkerRecords[w]
+			}
+		}
+		if sum > 0 && len(rr.WorkerRecords) > 0 {
+			mean := float64(sum) / float64(len(rr.WorkerRecords))
+			rr.ShardImbalance = float64(max) / mean
+		}
+		rep.Rounds = append(rep.Rounds, rr)
+	}
+	rep.Metrics = c.reg.Snapshot()
+	return rep
+}
+
+// emptyPhases returns a phase map with every phase present and zero.
+func emptyPhases() map[string]PhaseStat {
+	m := make(map[string]PhaseStat, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		m[p.String()] = PhaseStat{}
+	}
+	return m
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders a human-readable phase breakdown.
+func (r *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s: %d records, %d workers, %d rounds, %d scans (io: %d)\n",
+		r.Build.Algorithm, r.Build.Records, r.Build.Workers, r.Build.Rounds,
+		r.Build.Scans, r.IO.Scans)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tcount\ttotal")
+	for _, name := range sortedKeys(r.PhaseTotals) {
+		st := r.PhaseTotals[name]
+		fmt.Fprintf(tw, "%s\t%d\t%.3fms\n", name, st.Count, float64(st.Ns)/1e6)
+	}
+	return tw.Flush()
+}

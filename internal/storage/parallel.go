@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // RangeSource is a Source whose records can also be read by disjoint rid
@@ -54,6 +55,24 @@ const cancelCheckEvery = 1024
 // partial per-worker totals are still merged (without counting a completed
 // scan) and the error of the lowest-indexed failing worker is returned.
 func ParallelScan(ctx context.Context, src RangeSource, workers int, fn func(worker, rid int, vals []float64, label int) error) error {
+	return ParallelScanObserved(ctx, src, workers, nil, fn)
+}
+
+// WorkerScan reports one worker's completed share of a parallel pass: how
+// many records its range held and how long the range scan took. Record
+// counts are deterministic (ranges are a pure function of NumRecords and
+// workers); Ns is wall time and is not.
+type WorkerScan struct {
+	Worker  int
+	Records int64
+	Ns      int64
+}
+
+// ParallelScanObserved is ParallelScan with per-worker instrumentation:
+// observe, when non-nil, is called once per worker as that worker's range
+// completes (successfully or not). It runs on the worker's goroutine, so
+// it must be safe for concurrent invocation.
+func ParallelScanObserved(ctx context.Context, src RangeSource, workers int, observe func(WorkerScan), fn func(worker, rid int, vals []float64, label int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -75,6 +94,16 @@ func ParallelScan(ctx context.Context, src RangeSource, workers int, fn func(wor
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			start := time.Now()
+			if observe != nil {
+				defer func() {
+					observe(WorkerScan{
+						Worker:  w,
+						Records: stats[w].RecordsRead,
+						Ns:      time.Since(start).Nanoseconds(),
+					})
+				}()
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					errs[w] = fmt.Errorf("storage: scan worker %d panicked: %v", w, r)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"cmpdt/internal/dataset"
+	"cmpdt/internal/obs"
 )
 
 // Compiled is a flattened, immutable form of a Tree built for inference.
@@ -36,6 +38,11 @@ type Compiled struct {
 	subset   []uint64  // SplitCategorical bitmask
 	left     []int32   // left child id; the right child is left+1
 	class    []int32   // majority class (the prediction at leaves)
+
+	// batchObs, when non-nil, records each batch call's wall latency (see
+	// SetBatchObserver). Predict itself is never instrumented: the
+	// single-record hot path stays allocation- and branch-free.
+	batchObs *obs.Histogram
 }
 
 // Compiled opcodes. Numeric splits pick the comparison whose false branch
@@ -178,12 +185,44 @@ func (c *Compiled) Predict(vals []float64) int {
 	}
 }
 
+// SetBatchObserver attaches a latency histogram: every subsequent
+// PredictBatch, PredictBatchWorkers and PredictTable call records its wall
+// time into h (one observation per batch). Pass nil to detach. Predict is
+// never instrumented — the single-record walk stays allocation-free either
+// way. Set the observer before sharing the Compiled tree across
+// goroutines; the batch methods read it without synchronization.
+func (c *Compiled) SetBatchObserver(h *obs.Histogram) { c.batchObs = h }
+
+// batchStart returns the observation start time, or the zero time when no
+// observer is attached (skipping the clock read on unobserved paths).
+func (c *Compiled) batchStart() time.Time {
+	if c.batchObs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// batchEnd records one batch observation started at start.
+func (c *Compiled) batchEnd(start time.Time) {
+	if c.batchObs != nil {
+		c.batchObs.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
 // PredictBatch classifies records[j] into dst[j] for every j, sequentially
 // and without allocating. dst must be at least as long as records.
 func (c *Compiled) PredictBatch(dst []int, records [][]float64) {
 	if len(dst) < len(records) {
 		panic(fmt.Sprintf("tree: PredictBatch dst len %d < %d records", len(dst), len(records)))
 	}
+	start := c.batchStart()
+	c.predictRecords(dst, records)
+	c.batchEnd(start)
+}
+
+// predictRecords is the uninstrumented serial loop shared by the batch
+// entry points.
+func (c *Compiled) predictRecords(dst []int, records [][]float64) {
 	for j, r := range records {
 		dst[j] = c.Predict(r)
 	}
@@ -197,15 +236,17 @@ func (c *Compiled) PredictBatchWorkers(dst []int, records [][]float64, workers i
 	if len(dst) < n {
 		panic(fmt.Sprintf("tree: PredictBatchWorkers dst len %d < %d records", len(dst), n))
 	}
+	start := c.batchStart()
 	if serialShard(n, workers) {
-		c.PredictBatch(dst, records)
-		return
+		c.predictRecords(dst, records)
+	} else {
+		runShards(n, workers, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				dst[j] = c.Predict(records[j])
+			}
+		})
 	}
-	runShards(n, workers, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			dst[j] = c.Predict(records[j])
-		}
-	})
+	c.batchEnd(start)
 }
 
 // PredictTable classifies every row of tbl into dst, sharded over workers
@@ -216,17 +257,19 @@ func (c *Compiled) PredictTable(dst []int, tbl *dataset.Table, workers int) {
 	if len(dst) < n {
 		panic(fmt.Sprintf("tree: PredictTable dst len %d < %d records", len(dst), n))
 	}
+	start := c.batchStart()
 	if serialShard(n, workers) {
 		for j := 0; j < n; j++ {
 			dst[j] = c.Predict(tbl.Row(j))
 		}
-		return
+	} else {
+		runShards(n, workers, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				dst[j] = c.Predict(tbl.Row(j))
+			}
+		})
 	}
-	runShards(n, workers, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			dst[j] = c.Predict(tbl.Row(j))
-		}
-	})
+	c.batchEnd(start)
 }
 
 // serialShard reports whether a sharded call over n items degenerates to a

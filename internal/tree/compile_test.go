@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cmpdt/internal/dataset"
+	"cmpdt/internal/obs"
 )
 
 // testSchema returns a schema mixing numeric and categorical attributes,
@@ -291,6 +292,41 @@ func TestPredictZeroAlloc(t *testing.T) {
 		c.PredictTable(tblDst, tbl, 1)
 	}); allocs != 0 {
 		t.Errorf("serial PredictTable: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchObserverZeroAlloc pins the observability hooks themselves at
+// zero allocations: an attached latency histogram must not change the
+// batch paths' allocation profile, and Predict — which is deliberately
+// never instrumented — stays allocation-free either way.
+func TestBatchObserverZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	rng := rand.New(rand.NewSource(7))
+	schema := compileTestSchema()
+	c := Compile(randomTree(rng, schema, 8, 0.2))
+	c.SetBatchObserver(obs.NewHistogram(nil))
+
+	records := make([][]float64, 64)
+	for j := range records {
+		records[j] = randomRecord(rng, schema, 0)
+	}
+	dst := make([]int, len(records))
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.PredictBatch(dst, records)
+	}); allocs != 0 {
+		t.Errorf("PredictBatch with observer attached: %v allocs/op, want 0", allocs)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		predictSink += c.Predict(records[i%len(records)])
+		i++
+	}); allocs != 0 {
+		t.Errorf("Predict with observer attached: %v allocs/op, want 0", allocs)
+	}
+	if got := c.batchObs.Snapshot().Count; got == 0 {
+		t.Error("observer recorded no batches")
 	}
 }
 
