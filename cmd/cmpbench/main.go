@@ -23,10 +23,11 @@ import (
 
 	"cmpdt/internal/experiments"
 	"cmpdt/internal/obs"
+	"cmpdt/internal/storage"
 	"cmpdt/internal/synth"
 )
 
-var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer"}
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
@@ -39,7 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "build parallelism for the CMP family (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of aligned tables")
-	inferJSON := flag.String("json", "", "for -exp infer: also write the baseline to this file (e.g. BENCH_infer.json)")
+	inferJSON := flag.String("json", "", "for -exp infer/cache: also write the baseline to this file (e.g. BENCH_infer.json)")
+	cache := flag.String("cache", "0", `page-cache capacity for -disk record stores and -exp cache, e.g. "64m" ("0" = default for -exp cache, uncached elsewhere)`)
 	metricsJSON := flag.String("metrics-json", "", `write the aggregate observability report as JSON to this path ("-" for stderr)`)
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
@@ -67,6 +69,12 @@ func main() {
 	opts.Seed = *seed
 	opts.UseDisk = *disk
 	opts.Dir = *dir
+	cacheBytes, err := storage.ParseCacheSize(*cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmpbench:", err)
+		os.Exit(1)
+	}
+	opts.Eval.CacheBytes = cacheBytes
 
 	// One collector aggregates every build the selected experiments run;
 	// CMP-family rounds from successive builds append in execution order.
@@ -166,6 +174,25 @@ func main() {
 					return err
 				}
 				if err := experiments.WriteInferJSON(f, res); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+			return nil
+		case "cache":
+			res, err := opts.CacheBench()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Page cache: uncached vs cold vs warm disk-resident builds ==")
+			experiments.PrintCacheBench(os.Stdout, res)
+			if *inferJSON != "" {
+				f, err := os.Create(*inferJSON)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteCacheJSON(f, res); err != nil {
 					f.Close()
 					return err
 				}

@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "training seed")
 	timeout := flag.Duration("timeout", 0, "abort the build after this duration (0 = no limit)")
 	skipInvalid := flag.Bool("skip-invalid", false, "drop records with NaN/Inf features or out-of-range labels instead of aborting (CMP family)")
+	cache := flag.String("cache", "0", `page-cache capacity for the record store, e.g. "64m", "1g", plain bytes ("0" = uncached)`)
 	quiet := flag.Bool("quiet", false, "suppress the tree printout")
 	save := flag.String("save", "", "write the trained model as JSON to this path")
 	metricsJSON := flag.String("metrics-json", "", `write the observability report as JSON to this path ("-" for stdout)`)
@@ -53,6 +54,11 @@ func main() {
 		defer cancel()
 	}
 
+	cacheBytes, err := storage.ParseCacheSize(*cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmptrain:", err)
+		os.Exit(1)
+	}
 	opts := eval.Options{
 		Intervals:       *intervals,
 		MaxAlive:        *alive,
@@ -61,6 +67,7 @@ func main() {
 		Workers:         *workers,
 		Seed:            *seed,
 		SkipInvalid:     *skipInvalid,
+		CacheBytes:      cacheBytes,
 	}
 	if err := run(ctx, *algo, *data, *save, *metricsJSON, *quiet, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmptrain:", err)

@@ -211,6 +211,14 @@ type Config struct {
 	// naming the first such record, ValidateSkip drops them
 	// deterministically and counts them in Stats.SkippedRecords.
 	Validation ValidationPolicy
+	// CacheBytes, when positive, attaches a page cache of that capacity to
+	// disk-resident training (TrainFile/TrainFileContext), so repeated scan
+	// rounds re-read resident pages from memory. The trained tree and all
+	// logical scan accounting are bit-identical with or without the cache;
+	// only the physical I/O counters (cache hits/misses/evictions/
+	// prefetches in the observability report) change. Ignored for
+	// in-memory datasets.
+	CacheBytes int64
 	// Observer, when non-nil, collects the build's observability report:
 	// per-round phase timings (scan, buffer sort, exact-split resolution,
 	// oblique search, decide, collect, prune), per-worker scan shares, and
@@ -279,6 +287,9 @@ func (c Config) internal() core.Config {
 	}
 	if c.Validation == ValidateSkip {
 		cfg.Validation = core.ValidateSkip
+	}
+	if c.CacheBytes > 0 {
+		cfg.CacheBytes = c.CacheBytes
 	}
 	return cfg
 }
@@ -407,6 +418,7 @@ func trainSource(ctx context.Context, src storage.Source, cfg Config) (*Tree, *S
 		return nil, nil, err
 	}
 	if cfg.Observer != nil {
+		eval.ExportCacheCounters(col.Registry(), res.IO)
 		rep := col.Snapshot()
 		rep.Build.Algorithm = ccfg.Algorithm.String()
 		rep.Build.Records = src.NumRecords()

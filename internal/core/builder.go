@@ -55,6 +55,11 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 	if src.NumRecords() == 0 {
 		return nil, errors.New("core: empty training set")
 	}
+	if cfg.CacheBytes > 0 {
+		if c, ok := src.(storage.Cacheable); ok {
+			c.SetCacheBytes(cfg.CacheBytes)
+		}
+	}
 	b := &builder{
 		ctx:    ctx,
 		cfg:    cfg,

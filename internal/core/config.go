@@ -149,6 +149,14 @@ type Config struct {
 	// shares into the observability report. Nil (the default) adds no
 	// instrumentation cost to the build.
 	Obs *obs.Collector
+	// CacheBytes, when positive, attaches a page cache of that capacity to
+	// cacheable sources (storage.File) before building, so the per-round
+	// scans re-read resident pages from memory instead of disk. Zero or
+	// negative leaves the source's cache configuration untouched. The cache
+	// changes only the physical I/O counters (Stats.CacheHits/CacheMisses/
+	// Evictions/PrefetchedPages); trees and logical scan accounting are
+	// bit-identical with or without it.
+	CacheBytes int64
 }
 
 // Default returns the configuration used throughout the evaluation.

@@ -73,6 +73,12 @@ type Options struct {
 	// Obs, when non-nil, collects per-round phase timings for the CMP
 	// family (see internal/obs); assemble the report with MetricsReport.
 	Obs *obs.Collector
+	// CacheBytes, when positive, attaches a page cache of that capacity to
+	// cacheable sources (storage.File) before the run, so every algorithm's
+	// repeated scans hit memory for resident pages. Trees and logical I/O
+	// accounting are identical with or without it; only the physical cache
+	// counters in RunResult.IOStats change.
+	CacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +170,11 @@ func Run(algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts
 // algorithms currently run to completion.
 func RunContext(ctx context.Context, algo string, src storage.Source, trainTbl, testTbl *dataset.Table, opts Options) (*RunResult, *tree.Tree, error) {
 	opts = opts.withDefaults()
+	if opts.CacheBytes > 0 {
+		if c, ok := src.(storage.Cacheable); ok {
+			c.SetCacheBytes(opts.CacheBytes)
+		}
+	}
 	src.ResetStats()
 	start := time.Now()
 
@@ -191,6 +202,7 @@ func RunContext(ctx context.Context, algo string, src storage.Source, trainTbl, 
 			cfg.Validation = core.ValidateSkip
 		}
 		cfg.Obs = opts.Obs
+		cfg.CacheBytes = opts.CacheBytes
 		var res *core.Result
 		res, err = core.BuildContext(ctx, src, cfg)
 		if err == nil {

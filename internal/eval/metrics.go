@@ -12,6 +12,7 @@ import (
 // collector's storage-completed passes, so they sum to res.IOStats.Scans
 // exactly.
 func MetricsReport(c *obs.Collector, res *RunResult) *obs.Report {
+	ExportCacheCounters(c.Registry(), res.IOStats)
 	rep := c.Snapshot()
 	rep.Build = obs.BuildSummary{
 		Algorithm:       res.Algorithm,
@@ -35,13 +36,27 @@ func MetricsReport(c *obs.Collector, res *RunResult) *obs.Report {
 // IOSummary mirrors a storage.Stats into the report's I/O section.
 func IOSummary(s storage.Stats) obs.IOSummary {
 	return obs.IOSummary{
-		Scans:        s.Scans,
-		RecordsRead:  s.RecordsRead,
-		BytesRead:    s.BytesRead,
-		PagesRead:    s.PagesRead,
-		BytesWritten: s.BytesWritten,
-		PagesWritten: s.PagesWritten,
-		Retries:      s.Retries,
-		CorruptPages: s.CorruptPages,
+		Scans:           s.Scans,
+		RecordsRead:     s.RecordsRead,
+		BytesRead:       s.BytesRead,
+		PagesRead:       s.PagesRead,
+		BytesWritten:    s.BytesWritten,
+		PagesWritten:    s.PagesWritten,
+		Retries:         s.Retries,
+		CorruptPages:    s.CorruptPages,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheEvictions:  s.Evictions,
+		PrefetchedPages: s.PrefetchedPages,
 	}
+}
+
+// ExportCacheCounters publishes the run's page-cache counters into a metrics
+// registry (always, even when zero, so the -metrics-json key set is stable
+// whatever the cache configuration). reg may be nil.
+func ExportCacheCounters(reg *obs.Registry, s storage.Stats) {
+	reg.Counter("storage_cache_hits").Add(s.CacheHits)
+	reg.Counter("storage_cache_misses").Add(s.CacheMisses)
+	reg.Counter("storage_cache_evictions").Add(s.Evictions)
+	reg.Counter("storage_prefetched_pages").Add(s.PrefetchedPages)
 }

@@ -10,7 +10,7 @@ import (
 // ReportSchemaVersion identifies the emitted JSON layout. The CI bench
 // gate (cmd/benchdiff) and the golden-file schema test pin this contract:
 // bump it when a key is added, renamed, or removed.
-const ReportSchemaVersion = 1
+const ReportSchemaVersion = 2
 
 // PhaseStat is one phase's accumulated time.
 type PhaseStat struct {
@@ -69,6 +69,13 @@ type IOSummary struct {
 	PagesWritten int64 `json:"pages_written"`
 	Retries      int64 `json:"retries"`
 	CorruptPages int64 `json:"corrupt_pages"`
+	// The cache counters split the logical reads above from physical page
+	// traffic: physical page reads = cache_misses + prefetched_pages. All
+	// zero when no page cache is attached.
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheEvictions  int64 `json:"cache_evictions"`
+	PrefetchedPages int64 `json:"prefetched_pages"`
 }
 
 // Report is the machine-readable observability report: the -metrics-json

@@ -1,0 +1,334 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultReadahead is the number of pages prefetched past a demand miss
+// during a sequential scan (see File.SetReadahead).
+const DefaultReadahead = 8
+
+// errNoFrame is the internal sentinel acquire returns when every frame in
+// the target shard is pinned: the caller bypasses the cache with a private
+// read instead of blocking on an eviction that may never come.
+var errNoFrame = errors.New("storage: page cache has no evictable frame")
+
+// PageCache is a fixed-capacity buffer pool over CMPDT2 disk pages. Pages
+// are filled synchronously — read, retried under the owning file's
+// RetryPolicy and CRC-verified exactly once per residency — and then served
+// from memory to any number of concurrent scanners. Residency is managed by
+// a sharded LRU; a frame being consumed by a scanner is pinned and never
+// evicted or reused until released.
+//
+// Fills are single-flight: when several scanners miss on the same page at
+// once, one performs the physical read while the rest wait on the frame and
+// count a hit. Fill errors are never cached — the frame is discarded and the
+// error propagates to every waiter, so a partially-filled or CRC-invalid
+// page is never resident.
+type PageCache struct {
+	shards []cacheShard
+	mask   int64
+}
+
+// cacheShard is one lock domain of the pool. Sequential page numbers map to
+// shards round-robin, so a sequential scan spreads its lock traffic evenly.
+type cacheShard struct {
+	mu        sync.Mutex
+	frames    map[int64]*frame
+	capFrames int
+	allocated int
+	free      []*frame
+	lru       frame // list sentinel: lru.next is MRU, lru.prev is LRU tail
+}
+
+// frame is one page-sized buffer. data holds the raw disk page (4-byte CRC
+// word then payload); n is the payload length. Frames move between three
+// states, all transitions under the shard lock: filling (in the map, not in
+// the LRU list, filling=true), ready (in the map and list), and dead
+// (removed from the map after a fill error or eviction race; recycled onto
+// the free list when the last pin drops).
+type frame struct {
+	key        int64
+	data       []byte
+	n          int
+	pins       int
+	filling    bool
+	dead       bool
+	err        error
+	ready      chan struct{} // closed once the fill outcome (err or data) is set
+	prev, next *frame
+}
+
+// payload returns the checksummed record-stream bytes of a ready frame.
+func (fr *frame) payload() []byte { return fr.data[4 : 4+fr.n] }
+
+// NewPageCache builds a pool holding capacityBytes worth of pages (rounded
+// down, minimum one page). Small pools use a single shard so tests can force
+// evictions deterministically; larger pools split into power-of-two shards.
+func NewPageCache(capacityBytes int64) *PageCache {
+	frames := int(capacityBytes / PageSize)
+	if frames < 1 {
+		frames = 1
+	}
+	nShards := 1
+	for nShards < 8 && frames/(nShards*2) >= 4 {
+		nShards *= 2
+	}
+	c := &PageCache{shards: make([]cacheShard, nShards), mask: int64(nShards - 1)}
+	for i := range c.shards {
+		per := frames / nShards
+		if i < frames%nShards {
+			per++
+		}
+		c.shards[i] = cacheShard{frames: make(map[int64]*frame, per), capFrames: per}
+		c.shards[i].lru.next = &c.shards[i].lru
+		c.shards[i].lru.prev = &c.shards[i].lru
+	}
+	return c
+}
+
+// Capacity returns the pool size in frames (pages).
+func (c *PageCache) Capacity() int {
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].capFrames
+	}
+	return total
+}
+
+// Len returns the number of resident (ready or filling) pages.
+func (c *PageCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// PinnedPages returns the number of frames currently pinned by scanners.
+// With no scan in flight it must be zero — the pin-count invariant the
+// concurrency tests check.
+func (c *PageCache) PinnedPages() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.pins > 0 {
+				total++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// contains reports whether page key is resident and ready (test hook).
+func (c *PageCache) contains(key int64) bool {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	fr := sh.frames[key]
+	ok := fr != nil && !fr.filling
+	sh.mu.Unlock()
+	return ok
+}
+
+// acquire returns page key pinned, filling it via fill if absent. filled
+// reports whether this call performed the physical read (the trigger for
+// readahead). The caller must release the returned frame.
+//
+// With prefetch true the call is speculative: it never waits on an in-flight
+// fill, never pins on a hit, releases its own pin after filling, and counts
+// into stats.PrefetchedPages instead of CacheMisses; the returned frame is
+// always nil. Fill errors still propagate — a prefetched page fails exactly
+// like the demand read the scan was about to issue.
+func (c *PageCache) acquire(key int64, stats *Stats, prefetch bool, fill func(dst []byte) (int, error)) (fr *frame, filled bool, err error) {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	if fr := sh.frames[key]; fr != nil {
+		if fr.filling {
+			if prefetch {
+				sh.mu.Unlock()
+				return nil, false, nil
+			}
+			// Another scanner is filling this page: pin, wait, share it.
+			fr.pins++
+			ready := fr.ready
+			sh.mu.Unlock()
+			<-ready
+			if fr.err != nil {
+				err := fr.err
+				c.release(fr)
+				return nil, false, err
+			}
+			stats.CacheHits++
+			return fr, false, nil
+		}
+		if prefetch {
+			sh.mu.Unlock()
+			return nil, false, nil
+		}
+		fr.pins++
+		sh.moveToFront(fr)
+		sh.mu.Unlock()
+		stats.CacheHits++
+		return fr, false, nil
+	}
+	fr, evicted := sh.takeFrame()
+	if fr == nil {
+		sh.mu.Unlock()
+		return nil, false, errNoFrame
+	}
+	if evicted {
+		stats.Evictions++
+	}
+	fr.key = key
+	fr.pins = 1
+	fr.filling = true
+	fr.dead = false
+	fr.err = nil
+	fr.n = 0
+	fr.ready = make(chan struct{})
+	sh.frames[key] = fr
+	sh.mu.Unlock()
+
+	n, ferr := fill(fr.data)
+
+	sh.mu.Lock()
+	fr.filling = false
+	if ferr != nil {
+		// Never cache a failed fill: drop the frame and wake the waiters
+		// with the error.
+		fr.err = ferr
+		fr.dead = true
+		delete(sh.frames, key)
+		fr.pins--
+		if fr.pins == 0 {
+			sh.recycle(fr)
+		}
+		sh.mu.Unlock()
+		close(fr.ready)
+		return nil, false, ferr
+	}
+	fr.n = n
+	sh.pushFront(fr)
+	sh.mu.Unlock()
+	close(fr.ready)
+	if prefetch {
+		stats.PrefetchedPages++
+		c.release(fr)
+		return nil, true, nil
+	}
+	stats.CacheMisses++
+	return fr, true, nil
+}
+
+// release drops one pin. A dead frame (failed fill or evicted while pinned)
+// is recycled onto its shard's free list once the last pin is gone.
+func (c *PageCache) release(fr *frame) {
+	sh := &c.shards[fr.key&c.mask]
+	sh.mu.Lock()
+	fr.pins--
+	if fr.pins == 0 && fr.dead {
+		sh.recycle(fr)
+	}
+	sh.mu.Unlock()
+}
+
+// takeFrame returns a buffer for a new fill: from the free list, by
+// allocating under capacity, or by evicting the least-recently-used unpinned
+// ready frame. It returns nil when every frame is pinned or filling. Called
+// with the shard lock held.
+func (sh *cacheShard) takeFrame() (fr *frame, evicted bool) {
+	if n := len(sh.free); n > 0 {
+		fr := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return fr, false
+	}
+	if sh.allocated < sh.capFrames {
+		sh.allocated++
+		return &frame{data: make([]byte, PageSize)}, false
+	}
+	for fr := sh.lru.prev; fr != &sh.lru; fr = fr.prev {
+		if fr.pins == 0 {
+			sh.unlink(fr)
+			delete(sh.frames, fr.key)
+			return fr, true
+		}
+	}
+	return nil, false
+}
+
+// recycle resets a dead frame and returns it to the free list. Called with
+// the shard lock held.
+func (sh *cacheShard) recycle(fr *frame) {
+	fr.dead = false
+	fr.err = nil
+	fr.n = 0
+	sh.free = append(sh.free, fr)
+}
+
+// pushFront inserts fr at the MRU end. Called with the shard lock held.
+func (sh *cacheShard) pushFront(fr *frame) {
+	fr.prev = &sh.lru
+	fr.next = sh.lru.next
+	fr.prev.next = fr
+	fr.next.prev = fr
+}
+
+// unlink removes fr from the LRU list. Called with the shard lock held.
+func (sh *cacheShard) unlink(fr *frame) {
+	fr.prev.next = fr.next
+	fr.next.prev = fr.prev
+	fr.prev, fr.next = nil, nil
+}
+
+// moveToFront marks fr most recently used. Called with the shard lock held.
+func (sh *cacheShard) moveToFront(fr *frame) {
+	if sh.lru.next == fr {
+		return
+	}
+	sh.unlink(fr)
+	sh.pushFront(fr)
+}
+
+// Cacheable is a Source whose physical reads can be served through a page
+// cache. File implements it; Mem (already memory-speed) does not.
+type Cacheable interface {
+	Source
+	// SetCacheBytes attaches a page cache of the given capacity. n <= 0
+	// detaches; repeating the current capacity keeps the warm cache.
+	SetCacheBytes(n int64)
+}
+
+// ParseCacheSize parses a human-readable cache capacity: a plain byte count
+// or a number with a binary k/m/g suffix (case-insensitive), e.g. "64m",
+// "512K", "1g", "0" (disabled).
+func ParseCacheSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("storage: invalid cache size %q (want bytes or k/m/g suffix)", s)
+	}
+	if n > (1<<63-1)/mult {
+		return 0, fmt.Errorf("storage: cache size %q overflows", s)
+	}
+	return n * mult, nil
+}

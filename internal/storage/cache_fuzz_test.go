@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// errFuzzFill is the failure injected into fuzzed cache fills.
+var errFuzzFill = errors.New("fuzz fill failure")
+
+// FuzzPageCache runs an arbitrary acquire/release schedule against a plain
+// ordered-list LRU model and demands they agree exactly: residency, length,
+// eviction count, hit/miss/prefetch accounting and page contents. Pools of
+// at most 7 frames stay single-sharded (see NewPageCache), so the real LRU
+// order is deterministic and the model can predict every eviction.
+//
+// Each op byte encodes (key, kind): demand reads, speculative prefetches,
+// and fills that fail — which must leave the cache exactly as the model
+// says, with the failed key never resident.
+func FuzzPageCache(f *testing.F) {
+	f.Add(uint8(0), []byte{0x00, 0x01, 0x02, 0x00, 0xc3, 0x81, 0x04})
+	f.Add(uint8(1), []byte{0x00, 0x20, 0x40, 0x60, 0x80, 0xa0, 0xc0, 0xe0})
+	f.Add(uint8(6), bytes.Repeat([]byte{0x05, 0xc5, 0x85, 0x06}, 8))
+
+	f.Fuzz(func(t *testing.T, capRaw uint8, ops []byte) {
+		frames := int(capRaw%7) + 1 // 1..7: always one shard
+		c := NewPageCache(int64(frames) * PageSize)
+		if c.Capacity() != frames {
+			t.Fatalf("Capacity = %d, want %d", c.Capacity(), frames)
+		}
+
+		payloadFor := func(key int64) []byte {
+			n := 64 + int(key)
+			p := make([]byte, n)
+			for i := range p {
+				p[i] = byte(key*31 + int64(i))
+			}
+			return p
+		}
+		goodFill := func(key int64) func([]byte) (int, error) {
+			return func(dst []byte) (int, error) {
+				return copy(dst[4:], payloadFor(key)), nil
+			}
+		}
+		failFill := func([]byte) (int, error) { return 0, errFuzzFill }
+
+		// The model: resident keys in MRU-first order, plus the exact
+		// counter values the real cache must report.
+		var model []int64
+		var want Stats
+		indexOf := func(key int64) int {
+			for i, k := range model {
+				if k == key {
+					return i
+				}
+			}
+			return -1
+		}
+		touch := func(i int) { // move model[i] to MRU
+			k := model[i]
+			copy(model[1:i+1], model[:i])
+			model[0] = k
+		}
+		insert := func(key int64) { // evict-LRU-if-full, then push MRU
+			if len(model) == frames {
+				model = model[:len(model)-1]
+				want.Evictions++
+			}
+			model = append([]int64{key}, model...)
+		}
+		evictIfFull := func() { // a failed fill still claims (and frees) a frame
+			if len(model) == frames {
+				model = model[:len(model)-1]
+				want.Evictions++
+			}
+		}
+
+		var got Stats
+		for _, op := range ops {
+			key := int64(op & 0x1f)
+			resident := indexOf(key) >= 0
+			switch op >> 5 {
+			case 0, 1, 2, 3: // demand read, fill succeeds
+				fr, filled, err := c.acquire(key, &got, false, goodFill(key))
+				if err != nil {
+					t.Fatalf("demand acquire(%d): %v", key, err)
+				}
+				if filled == resident {
+					t.Fatalf("acquire(%d): filled=%v with resident=%v", key, filled, resident)
+				}
+				if !bytes.Equal(fr.payload(), payloadFor(key)) {
+					t.Fatalf("acquire(%d): payload mismatch", key)
+				}
+				c.release(fr)
+				if resident {
+					want.CacheHits++
+					touch(indexOf(key))
+				} else {
+					want.CacheMisses++
+					insert(key)
+				}
+			case 4, 5: // prefetch, fill succeeds
+				fr, _, err := c.acquire(key, &got, true, goodFill(key))
+				if err != nil {
+					t.Fatalf("prefetch acquire(%d): %v", key, err)
+				}
+				if fr != nil {
+					t.Fatalf("prefetch acquire(%d) returned a pinned frame", key)
+				}
+				if !resident {
+					want.PrefetchedPages++
+					insert(key)
+				} // a prefetch hit neither counts nor reorders the LRU
+			case 6: // demand read, fill fails
+				fr, _, err := c.acquire(key, &got, false, failFill)
+				if resident {
+					// Hit: the fill is never invoked, so it cannot fail.
+					if err != nil {
+						t.Fatalf("hit acquire(%d) failed: %v", key, err)
+					}
+					c.release(fr)
+					want.CacheHits++
+					touch(indexOf(key))
+				} else {
+					if !errors.Is(err, errFuzzFill) {
+						t.Fatalf("failed fill of %d: err = %v", key, err)
+					}
+					evictIfFull()
+				}
+			case 7: // prefetch, fill fails
+				_, _, err := c.acquire(key, &got, true, failFill)
+				if resident {
+					if err != nil {
+						t.Fatalf("resident prefetch(%d) failed: %v", key, err)
+					}
+				} else {
+					if !errors.Is(err, errFuzzFill) {
+						t.Fatalf("failed prefetch of %d: err = %v", key, err)
+					}
+					evictIfFull()
+				}
+			}
+
+			if c.Len() != len(model) {
+				t.Fatalf("after op %#02x: Len = %d, model holds %d", op, c.Len(), len(model))
+			}
+			for k := int64(0); k < 32; k++ {
+				if c.contains(k) != (indexOf(k) >= 0) {
+					t.Fatalf("after op %#02x: residency of key %d disagrees with model", op, k)
+				}
+			}
+		}
+
+		if got != want {
+			t.Fatalf("stats diverge from model:\n got  %+v\n want %+v", got, want)
+		}
+		if p := c.PinnedPages(); p != 0 {
+			t.Fatalf("PinnedPages = %d with no acquires outstanding", p)
+		}
+	})
+}

@@ -1,0 +1,432 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// cacheCounters extracts just the page-cache accounting from a Stats, so
+// table expectations stay readable.
+type cacheCounters struct {
+	Hits, Misses, Prefetched, Evictions int64
+}
+
+func countersOf(s Stats) cacheCounters {
+	return cacheCounters{Hits: s.CacheHits, Misses: s.CacheMisses, Prefetched: s.PrefetchedPages, Evictions: s.Evictions}
+}
+
+// TestPageCacheStatsAccounting pins the exact physical accounting of a
+// serial sequential scan under every interesting cache shape. The fixture is
+// 2000 records of 26 bytes = 52000 payload bytes = 7 CMPDT2 pages, so every
+// expectation below is derivable by hand:
+//
+//   - cold, readahead 3: page 0 misses and pulls 1-3; page 4 misses and
+//     pulls 5-6 (clamped at EOF) — 2 misses, 5 prefetches, 5 hits.
+//   - warm rescan: everything resident — 7 hits, no physical reads.
+//   - single-frame pool: every page misses, each fill after the first
+//     evicts its predecessor; readahead finds the only frame pinned and
+//     backs off.
+//   - readahead past EOF: one miss pulls the remaining 6 pages.
+func TestPageCacheStatsAccounting(t *testing.T) {
+	const n = 2000
+	path := filepath.Join(t.TempDir(), "acct.rec")
+	ref := writeTestFile(t, path, n, FormatV2)
+	want := collect(t, ref)
+	wantLogical := ref.Stats()
+
+	const pages = 7 // ceil(2000*26 / 8188)
+	cases := []struct {
+		name       string
+		cacheBytes int64
+		readahead  int
+		scan1      cacheCounters // cold
+		scan2      cacheCounters // rescan on the same cache
+	}{
+		{
+			name: "cold then warm, readahead 3", cacheBytes: 64 << 20, readahead: 3,
+			scan1: cacheCounters{Misses: 2, Prefetched: 5, Hits: 5},
+			scan2: cacheCounters{Hits: pages},
+		},
+		{
+			name: "eviction-heavy single frame", cacheBytes: PageSize, readahead: 3,
+			scan1: cacheCounters{Misses: pages, Evictions: pages - 1},
+			scan2: cacheCounters{Misses: pages, Evictions: pages},
+		},
+		{
+			name: "readahead overshoots EOF", cacheBytes: 64 << 20, readahead: 16,
+			scan1: cacheCounters{Misses: 1, Prefetched: pages - 1, Hits: pages - 1},
+			scan2: cacheCounters{Hits: pages},
+		},
+		{
+			name: "readahead disabled", cacheBytes: 64 << 20, readahead: 0,
+			scan1: cacheCounters{Misses: pages},
+			scan2: cacheCounters{Hits: pages},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := OpenFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.SetCacheBytes(tc.cacheBytes)
+			f.SetReadahead(tc.readahead)
+
+			for pass, wantC := range []cacheCounters{tc.scan1, tc.scan2} {
+				f.ResetStats()
+				got := collect(t, f)
+				if len(got) != len(want) {
+					t.Fatalf("pass %d: %d values, want %d", pass+1, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("pass %d: cached scan diverges from uncached at value %d", pass+1, i)
+					}
+				}
+				st := f.Stats()
+				if gotC := countersOf(st); gotC != wantC {
+					t.Errorf("pass %d: cache counters = %+v, want %+v", pass+1, gotC, wantC)
+				}
+				// The logical cost model must not notice the cache at all.
+				if st.RecordsRead != wantLogical.RecordsRead || st.BytesRead != wantLogical.BytesRead ||
+					st.PagesRead != wantLogical.PagesRead || st.Scans != 1 {
+					t.Errorf("pass %d: logical stats %+v diverge from uncached %+v", pass+1, st, wantLogical)
+				}
+				// Physical reads never exceed one pass over the file.
+				if phys := st.CacheMisses + st.PrefetchedPages; phys > pages {
+					t.Errorf("pass %d: %d physical page reads for a %d-page file", pass+1, phys, pages)
+				}
+			}
+			if c := f.Cache(); c.PinnedPages() != 0 {
+				t.Errorf("PinnedPages = %d after scans finished", c.PinnedPages())
+			}
+		})
+	}
+}
+
+// TestPageCachePinInvariant checks no scan path leaks a pin: full scans,
+// mid-page range scans, and scans aborted by the callback all leave every
+// frame unpinned.
+func TestPageCachePinInvariant(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "pin.rec"), 2000, FormatV2)
+	want := collect(t, f)
+	f.SetCacheBytes(64 << 20)
+
+	collect(t, f) // full cached scan
+
+	// Range starting mid-page exercises the CopyN skip through the cached
+	// reader.
+	lo, hi := 900, 1100
+	var st Stats
+	var got []float64
+	err := f.ScanRange(lo, hi, &st, func(rid int, vals []float64, label int) error {
+		got = append(got, vals...)
+		got = append(got, float64(label))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanRange: %v", err)
+	}
+	stride := f.Schema().NumAttrs() + 1
+	wantRange := want[lo*stride : hi*stride]
+	if len(got) != len(wantRange) {
+		t.Fatalf("range returned %d values, want %d", len(got), len(wantRange))
+	}
+	for i := range got {
+		if got[i] != wantRange[i] {
+			t.Fatalf("cached range diverges at value %d", i)
+		}
+	}
+
+	// A scan aborted by its callback must release the pinned frame via the
+	// reader's Close.
+	sentinel := errors.New("stop")
+	if err := f.Scan(func(rid int, vals []float64, label int) error {
+		if rid == 5 {
+			return sentinel
+		}
+		return nil
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("aborted scan: err = %v, want %v", err, sentinel)
+	}
+
+	c := f.Cache()
+	if p := c.PinnedPages(); p != 0 {
+		t.Errorf("PinnedPages = %d, want 0", p)
+	}
+	if c.Len() == 0 {
+		t.Error("cache empty after cached scans")
+	}
+	if c.Len() > c.Capacity() {
+		t.Errorf("Len %d exceeds Capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+// TestPageCacheStress hammers one small pool from overlapping concurrent
+// range scans — more scanners than frames, so the pinned-out bypass path and
+// single-flight fills are both exercised. Run under the race detector by
+// make race and the faults target.
+func TestPageCacheStress(t *testing.T) {
+	const n = 5000
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "stress.rec"), n, FormatV2)
+	want := collect(t, f)
+	f.SetCacheBytes(4 * PageSize) // 4 frames for a 16-page file
+
+	ranges := [][2]int{{0, n}, {100, 4100}, {2000, 5000}, {0, 2600}, {1234, 3456}, {4000, 5000}, {300, 700}, {2500, 4500}}
+	stride := f.Schema().NumAttrs() + 1
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ranges))
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st Stats
+			next := lo
+			err := f.ScanRange(lo, hi, &st, func(rid int, vals []float64, label int) error {
+				if rid != next {
+					return fmt.Errorf("rid %d out of order, want %d", rid, next)
+				}
+				next++
+				base := rid * stride
+				for i, v := range vals {
+					if v != want[base+i] {
+						return fmt.Errorf("record %d attr %d = %v, want %v", rid, i, v, want[base+i])
+					}
+				}
+				if float64(label) != want[base+stride-1] {
+					return fmt.Errorf("record %d label = %d, want %v", rid, label, want[base+stride-1])
+				}
+				return nil
+			})
+			if err == nil && next != hi {
+				err = fmt.Errorf("range [%d,%d) stopped at %d", lo, hi, next)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	c := f.Cache()
+	if p := c.PinnedPages(); p != 0 {
+		t.Errorf("PinnedPages = %d after all scans finished", p)
+	}
+	if c.Len() > c.Capacity() {
+		t.Errorf("Len %d exceeds Capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+// TestPageCacheV1Ignored pins that attaching a cache to a FormatV1 store is
+// harmless: V1 has no page structure, so scans bypass the pool entirely.
+func TestPageCacheV1Ignored(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "v1.rec"), 1000, FormatV1)
+	want := collect(t, f)
+	f.SetCacheBytes(64 << 20)
+	f.ResetStats()
+	got := collect(t, f)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("v1 scan diverges at value %d", i)
+		}
+	}
+	if c := countersOf(f.Stats()); c != (cacheCounters{}) {
+		t.Errorf("cache counters %+v on a V1 scan, want all zero", c)
+	}
+	if f.Cache().Len() != 0 {
+		t.Errorf("cache holds %d pages after V1 scans", f.Cache().Len())
+	}
+}
+
+// TestSetCacheBytes pins the attach/keep/replace/detach contract layered
+// callers rely on: repeating the current capacity must keep the warm cache.
+func TestSetCacheBytes(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "s.rec"), 2000, FormatV2)
+	f.SetCacheBytes(64 << 20)
+	c := f.Cache()
+	collect(t, f)
+	if c.Len() == 0 {
+		t.Fatal("cache not filled by a cached scan")
+	}
+
+	f.SetCacheBytes(64 << 20)
+	if f.Cache() != c {
+		t.Error("same capacity replaced the warm cache")
+	}
+	f.SetCacheBytes(32 << 20)
+	if f.Cache() == c {
+		t.Error("new capacity kept the old cache")
+	}
+	f.SetCacheBytes(0)
+	if f.Cache() != nil {
+		t.Error("SetCacheBytes(0) left a cache attached")
+	}
+}
+
+// TestFaultCacheRetryMatchesUncached pins the fault-accounting contract: a
+// cold cached scan issues the identical physical read sequence as an
+// uncached scan, so a same-seed injector produces the same Retries count and
+// the same bytes; a warm rescan touches the disk not at all, so the injector
+// never fires.
+func TestFaultCacheRetryMatchesUncached(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fr.rec")
+	f := writeTestFile(t, path, 5000, FormatV2)
+	want := collect(t, f)
+
+	f.ResetStats()
+	f.SetFaultInjector(NewFaultInjector(11, 3))
+	gotUncached := collect(t, f)
+	uncached := f.Stats()
+	if uncached.Retries == 0 {
+		t.Fatal("uncached faulty scan recorded no retries; the test exercised nothing")
+	}
+
+	fc, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.SetCacheBytes(64 << 20)
+	fc.SetFaultInjector(NewFaultInjector(11, 3))
+	gotCold := collect(t, fc)
+	cold := fc.Stats()
+
+	for i := range want {
+		if gotUncached[i] != want[i] || gotCold[i] != want[i] {
+			t.Fatalf("faulty scans diverge from clean data at value %d", i)
+		}
+	}
+	if cold.Retries != uncached.Retries {
+		t.Errorf("cold cached Retries = %d, uncached = %d; physical read sequences diverged", cold.Retries, uncached.Retries)
+	}
+	if cold.CorruptPages != 0 || uncached.CorruptPages != 0 {
+		t.Errorf("CorruptPages nonzero on clean data: cached %d, uncached %d", cold.CorruptPages, uncached.CorruptPages)
+	}
+
+	// Warm rescan: everything resident, injector still attached but starved
+	// of physical reads.
+	fc.ResetStats()
+	gotWarm := collect(t, fc)
+	warm := fc.Stats()
+	for i := range want {
+		if gotWarm[i] != want[i] {
+			t.Fatalf("warm scan diverges at value %d", i)
+		}
+	}
+	if warm.Retries != 0 || warm.CacheMisses != 0 {
+		t.Errorf("warm rescan: Retries = %d, CacheMisses = %d, want 0,0", warm.Retries, warm.CacheMisses)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm rescan recorded no cache hits")
+	}
+}
+
+// TestFaultCacheFillErrorNotCached pins the never-cache-a-failure invariant
+// on the transient path: with retries disabled, the first injected fault
+// aborts the scan and the page it hit must not be resident afterwards.
+func TestFaultCacheFillErrorNotCached(t *testing.T) {
+	f := writeTestFile(t, filepath.Join(t.TempDir(), "fe.rec"), 5000, FormatV2)
+	f.SetCacheBytes(64 << 20)
+	f.SetRetryPolicy(RetryPolicy{MaxRetries: 0})
+	// every=2: the fill of page 0 (call 1) succeeds, the prefetch of page 1
+	// (call 2) faults and, unretried, kills the scan.
+	f.SetFaultInjector(NewFaultInjector(1, 2))
+
+	err := f.Scan(func(int, []float64, int) error { return nil })
+	if err == nil {
+		t.Fatal("scan succeeded with retries disabled under constant faults")
+	}
+	if !IsTransient(err) && !errors.Is(err, errInjected) {
+		t.Errorf("error lost its injected cause: %v", err)
+	}
+	c := f.Cache()
+	if !c.contains(0) {
+		t.Error("cleanly-filled page 0 not resident")
+	}
+	if c.contains(1) {
+		t.Error("page whose fill failed is resident")
+	}
+	if p := c.PinnedPages(); p != 0 {
+		t.Errorf("PinnedPages = %d after aborted scan", p)
+	}
+}
+
+// TestFaultCacheCorruptionNotCached is the same invariant on the integrity
+// path: a CRC-invalid page aborts the scan, is counted once, and is never
+// served from the pool — while clean pages remain readable through it.
+func TestFaultCacheCorruptionNotCached(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cc.rec")
+	f := writeTestFile(t, path, 5000, FormatV2)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // corrupt the final page's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f.SetCacheBytes(64 << 20)
+	err = f.Scan(func(int, []float64, int) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if st := f.Stats(); st.CorruptPages != 1 {
+		t.Errorf("CorruptPages = %d, want 1", st.CorruptPages)
+	}
+
+	c := f.Cache()
+	lastPage := pagesIn(int64(f.NumRecords())*f.recSize) - 1
+	if c.contains(lastPage) {
+		t.Error("CRC-invalid page is resident")
+	}
+	if p := c.PinnedPages(); p != 0 {
+		t.Errorf("PinnedPages = %d after corrupt scan", p)
+	}
+
+	// The clean prefix still serves — now from the warm pool.
+	var st Stats
+	n := 0
+	if err := f.ScanRange(0, 300, &st, func(int, []float64, int) error { n++; return nil }); err != nil || n != 300 {
+		t.Fatalf("clean-prefix range through cache: err=%v n=%d", err, n)
+	}
+	if st.CacheHits == 0 {
+		t.Error("clean-prefix rescan took no cache hits")
+	}
+}
+
+// TestParseCacheSize is the flag-parsing table for -cache.
+func TestParseCacheSize(t *testing.T) {
+	good := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"12345", 12345},
+		{"4k", 4 << 10},
+		{"512K", 512 << 10},
+		{"64m", 64 << 20},
+		{" 1g ", 1 << 30},
+	}
+	for _, tc := range good {
+		got, err := ParseCacheSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCacheSize(%q) = %d, %v; want %d, nil", tc.in, got, err, tc.want)
+		}
+	}
+	for _, in := range []string{"", "-1", "64q", "x", "10000000000g"} {
+		if _, err := ParseCacheSize(in); err == nil {
+			t.Errorf("ParseCacheSize(%q) accepted", in)
+		}
+	}
+}

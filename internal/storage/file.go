@@ -298,6 +298,10 @@ type File struct {
 
 	retry  RetryPolicy
 	faults *FaultInjector
+
+	cache      *PageCache
+	cacheBytes int64
+	readahead  int
 }
 
 // OpenFile opens an existing store in either format, validating the header
@@ -348,13 +352,14 @@ func OpenFile(path string) (*File, error) {
 		return nil, fmt.Errorf("storage: negative record count %d", hdr.NumRecords)
 	}
 	out := &File{
-		path:    path,
-		schema:  hdr.Schema,
-		n:       hdr.NumRecords,
-		version: version,
-		dataOff: int64(len(magicV1)) + 4 + int64(hdrLen),
-		recSize: recordBytes(hdr.Schema),
-		retry:   DefaultRetryPolicy,
+		path:      path,
+		schema:    hdr.Schema,
+		n:         hdr.NumRecords,
+		version:   version,
+		dataOff:   int64(len(magicV1)) + 4 + int64(hdrLen),
+		recSize:   recordBytes(hdr.Schema),
+		retry:     DefaultRetryPolicy,
+		readahead: DefaultReadahead,
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -402,6 +407,38 @@ func (f *File) SetRetryPolicy(p RetryPolicy) { f.retry = p }
 // SetFaultInjector routes every subsequent read through fi (nil disables).
 // Call before scanning; not safe concurrently with scans.
 func (f *File) SetFaultInjector(fi *FaultInjector) { f.faults = fi }
+
+// SetCacheBytes attaches a page cache holding n bytes of pages, shared by
+// every subsequent Scan/ScanRange/ParallelScan over this file. n <= 0
+// detaches the cache; calling again with the current capacity is a no-op
+// that keeps the warm cache (so layered callers can each request the same
+// size without flushing it). Only FormatV2 scans use the cache — FormatV1
+// has no page structure to pin. Call before scanning; not safe concurrently
+// with scans.
+func (f *File) SetCacheBytes(n int64) {
+	if n <= 0 {
+		f.cache, f.cacheBytes = nil, 0
+		return
+	}
+	if f.cache != nil && f.cacheBytes == n {
+		return
+	}
+	f.cacheBytes = n
+	f.cache = NewPageCache(n)
+}
+
+// Cache returns the attached page cache, or nil.
+func (f *File) Cache() *PageCache { return f.cache }
+
+// SetReadahead sets how many pages past a demand miss a cached sequential
+// scan prefetches (default DefaultReadahead; 0 disables). Call before
+// scanning; not safe concurrently with scans.
+func (f *File) SetReadahead(pages int) {
+	if pages < 0 {
+		pages = 0
+	}
+	f.readahead = pages
+}
 
 // readFullAt fills p from r at disk offset off, retrying transient failures
 // under the file's retry policy (counting each retry into stats) and
@@ -498,27 +535,142 @@ func (pr *pageReader) Read(p []byte) (int, error) {
 		if pr.page >= pr.numPages {
 			return 0, io.EOF
 		}
-		payloadLen := int64(pagePayload)
-		if rem := pr.dataLen - pr.page*pagePayload; rem < payloadLen {
-			payloadLen = rem
-		}
-		diskOff := pr.f.dataOff + pr.page*PageSize
-		if err := pr.f.readFullAt(pr.r, pr.buf[:4+payloadLen], diskOff, pr.stats); err != nil {
+		n, err := pr.f.readPageAt(pr.r, pr.page, pr.dataLen, pr.buf, pr.stats)
+		if err != nil {
 			return 0, err
 		}
-		want := binary.LittleEndian.Uint32(pr.buf[:4])
-		payload := pr.buf[4 : 4+payloadLen]
-		if got := crc32.Checksum(payload, castagnoli); got != want {
-			pr.stats.CorruptPages++
-			return 0, fmt.Errorf("storage: page %d of %s: %w (crc %08x, want %08x)",
-				pr.page, pr.f.path, ErrCorrupt, got, want)
-		}
-		pr.avail = payload
+		pr.avail = pr.buf[4 : 4+n]
 		pr.page++
 	}
 	n := copy(p, pr.avail)
 	pr.avail = pr.avail[n:]
 	return n, nil
+}
+
+// readPageAt performs the single physical read of one CMPDT2 disk page into
+// buf (at least PageSize bytes: the 4-byte CRC word followed by the
+// payload), verifying its checksum, and returns the payload length. It is
+// the one physical-read path shared by the uncached page reader and the
+// page-cache fill, so retry (stats.Retries) and corruption
+// (stats.CorruptPages) accounting is identical whether or not a cache is
+// attached.
+func (f *File) readPageAt(r io.ReaderAt, page, dataLen int64, buf []byte, stats *Stats) (int, error) {
+	payloadLen := int64(pagePayload)
+	if rem := dataLen - page*pagePayload; rem < payloadLen {
+		payloadLen = rem
+	}
+	diskOff := f.dataOff + page*PageSize
+	if err := f.readFullAt(r, buf[:4+payloadLen], diskOff, stats); err != nil {
+		return 0, err
+	}
+	want := binary.LittleEndian.Uint32(buf[:4])
+	payload := buf[4 : 4+payloadLen]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		stats.CorruptPages++
+		return 0, fmt.Errorf("storage: page %d of %s: %w (crc %08x, want %08x)",
+			page, f.path, ErrCorrupt, got, want)
+	}
+	return int(payloadLen), nil
+}
+
+// cachedPageReader streams the V2 payload through the file's page cache.
+// Pages are filled — read, retried, CRC-verified — once per residency and
+// served zero-copy from the pinned frame afterwards; a demand miss triggers
+// synchronous readahead of the next pages so a cold sequential scan fills
+// the pool in page order. Because fills reuse readPageAt one page at a time,
+// the physical ReadAt sequence of a cold scan is identical to the uncached
+// reader's, so deterministic fault injection lands on the same reads and
+// Stats.Retries/CorruptPages match the uncached path. The reader keeps the
+// page it is consuming pinned; Close releases it.
+type cachedPageReader struct {
+	f         *File
+	r         io.ReaderAt
+	page      int64 // next page index
+	numPages  int64
+	dataLen   int64
+	readahead int
+	stats     *Stats
+	cur       *frame // pinned frame backing avail, if any
+	avail     []byte
+	scratch   []byte // private buffer for pinned-out bypass reads
+}
+
+func (cr *cachedPageReader) Read(p []byte) (int, error) {
+	if len(cr.avail) == 0 {
+		cr.unpin()
+		if cr.page >= cr.numPages {
+			return 0, io.EOF
+		}
+		payload, err := cr.load(cr.page)
+		if err != nil {
+			return 0, err
+		}
+		cr.avail = payload
+		cr.page++
+	}
+	n := copy(p, cr.avail)
+	cr.avail = cr.avail[n:]
+	return n, nil
+}
+
+// Close releases the pinned frame; scanRecords defers it so an aborted scan
+// cannot leak a pin.
+func (cr *cachedPageReader) Close() error {
+	cr.unpin()
+	cr.avail = nil
+	return nil
+}
+
+func (cr *cachedPageReader) unpin() {
+	if cr.cur != nil {
+		cr.f.cache.release(cr.cur)
+		cr.cur = nil
+	}
+}
+
+// fillFunc returns the cache-fill callback for one page, closing over this
+// reader's (possibly fault-injected) ReaderAt and stats.
+func (cr *cachedPageReader) fillFunc(page int64) func(dst []byte) (int, error) {
+	return func(dst []byte) (int, error) {
+		return cr.f.readPageAt(cr.r, page, cr.dataLen, dst, cr.stats)
+	}
+}
+
+// load produces page's payload: from the cache when possible, via a private
+// bypass read when every frame is pinned. After performing a demand fill it
+// prefetches the next readahead pages synchronously (stopping early at EOF
+// or a full pool); a prefetch fill error is as fatal as the demand read it
+// stands in for, keeping fault accounting identical to the uncached path.
+func (cr *cachedPageReader) load(page int64) ([]byte, error) {
+	c := cr.f.cache
+	fr, filled, err := c.acquire(page, cr.stats, false, cr.fillFunc(page))
+	if err == errNoFrame {
+		if cr.scratch == nil {
+			cr.scratch = make([]byte, PageSize)
+		}
+		n, err := cr.f.readPageAt(cr.r, page, cr.dataLen, cr.scratch, cr.stats)
+		if err != nil {
+			return nil, err
+		}
+		cr.stats.CacheMisses++
+		return cr.scratch[4 : 4+n], nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	cr.cur = fr
+	if filled {
+		for ahead := page + 1; ahead < cr.numPages && ahead <= page+int64(cr.readahead); ahead++ {
+			if _, _, err := c.acquire(ahead, cr.stats, true, cr.fillFunc(ahead)); err != nil {
+				if err == errNoFrame {
+					break
+				}
+				cr.unpin()
+				return nil, err
+			}
+		}
+	}
+	return fr.payload(), nil
 }
 
 // recordReader returns a reader positioned at record startRec of the logical
@@ -534,16 +686,31 @@ func (f *File) recordReader(file *os.File, startRec int, stats *Stats) (io.Reade
 			buf: make([]byte, 4*PageSize), stats: stats,
 		}, nil
 	}
-	pr := &pageReader{
-		f: f, r: r,
-		page:     logOff / pagePayload,
-		numPages: pagesIn(dataLen),
-		dataLen:  dataLen,
-		buf:      make([]byte, PageSize),
-		stats:    stats,
+	var pr io.Reader
+	if f.cache != nil {
+		pr = &cachedPageReader{
+			f: f, r: r,
+			page:      logOff / pagePayload,
+			numPages:  pagesIn(dataLen),
+			dataLen:   dataLen,
+			readahead: f.readahead,
+			stats:     stats,
+		}
+	} else {
+		pr = &pageReader{
+			f: f, r: r,
+			page:     logOff / pagePayload,
+			numPages: pagesIn(dataLen),
+			dataLen:  dataLen,
+			buf:      make([]byte, PageSize),
+			stats:    stats,
+		}
 	}
 	if skip := logOff % pagePayload; skip > 0 {
 		if _, err := io.CopyN(io.Discard, pr, skip); err != nil {
+			if c, ok := pr.(io.Closer); ok {
+				c.Close()
+			}
 			return nil, err
 		}
 	}
@@ -570,6 +737,9 @@ func (f *File) scanRecords(lo, hi int, stats *Stats, fn func(rid int, vals []flo
 	br, err := f.recordReader(file, lo, stats)
 	if err != nil {
 		return err
+	}
+	if c, ok := br.(io.Closer); ok {
+		defer c.Close() // release any page the reader still has pinned
 	}
 	k := f.schema.NumAttrs()
 	vals := make([]float64, k)

@@ -28,6 +28,25 @@ type Stats struct {
 	// CorruptPages counts pages whose checksum failed verification
 	// (FormatV2 File sources; corruption aborts the scan).
 	CorruptPages int64
+
+	// The cache counters below meter physical page traffic and are only
+	// touched by File sources with a page cache attached (always zero for
+	// Mem and uncached File scans). Physical page reads for a cached scan
+	// are CacheMisses + PrefetchedPages; the logical counters above are
+	// unchanged by caching, so the paper's scan-count cost model holds
+	// whatever the cache configuration.
+
+	// CacheHits counts demand page requests served from the cache without
+	// physical I/O.
+	CacheHits int64
+	// CacheMisses counts demand page requests that went to disk: cache
+	// fills plus the rare bypass reads taken when every frame is pinned.
+	CacheMisses int64
+	// Evictions counts resident pages evicted to make room for a fill.
+	Evictions int64
+	// PrefetchedPages counts pages filled by sequential readahead before
+	// any scanner demanded them.
+	PrefetchedPages int64
 }
 
 // Add accumulates other into s.
@@ -40,6 +59,10 @@ func (s *Stats) Add(other Stats) {
 	s.PagesWritten += other.PagesWritten
 	s.Retries += other.Retries
 	s.CorruptPages += other.CorruptPages
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.Evictions += other.Evictions
+	s.PrefetchedPages += other.PrefetchedPages
 }
 
 // Source is a scannable training set. Implementations meter their I/O.
