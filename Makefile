@@ -3,7 +3,7 @@ GO ?= go
 # Total-coverage floor enforced by cover-check (and CI).
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race bench bench-infer bench-cache bench-gate lint cover cover-check faults
+.PHONY: build test race bench bench-infer bench-cache bench-forest bench-gate lint cover cover-check faults
 
 build:
 	$(GO) build ./...
@@ -31,14 +31,26 @@ bench-infer:
 bench-cache:
 	$(GO) run ./cmd/cmpbench -exp cache -json BENCH_cache.json
 
-# The CI regression gate: measure the inference paths fresh and compare
-# against the committed baseline; fails on >25% ns/record regression or any
-# allocs/record increase. The aggregate metrics report lands next to the
-# measurement for artifact upload.
+# Forest baseline: trains the 16-tree bagged ensemble across the
+# (workers x cache) differential sweep and times the ensemble serving
+# paths, writing the numbers (and the forests-identical check) to
+# BENCH_forest.json. The flags must match bench-gate's measurement.
+bench-forest:
+	$(GO) run ./cmd/cmpbench -exp forest -n 50000 -cache 64m -json BENCH_forest.json
+
+# The CI regression gate: measure the inference and forest serving paths
+# fresh and compare both against their committed baselines in one benchdiff
+# invocation; fails on >25% ns/record regression, any allocs/record
+# increase, or a benchmark row vanishing. The aggregate metrics report
+# lands next to the measurement for artifact upload.
 bench-gate:
 	$(GO) run ./cmd/cmpbench -exp infer -json /tmp/bench_current.json \
 		-metrics-json /tmp/bench_metrics.json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_infer.json -current /tmp/bench_current.json
+	$(GO) run ./cmd/cmpbench -exp forest -n 50000 -cache 64m \
+		-json /tmp/bench_forest_current.json
+	$(GO) run ./cmd/benchdiff \
+		-baseline BENCH_infer.json,BENCH_forest.json \
+		-current /tmp/bench_current.json,/tmp/bench_forest_current.json
 	$(MAKE) bench
 
 # gofmt + go vet always; staticcheck and govulncheck when installed (CI

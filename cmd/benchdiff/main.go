@@ -1,19 +1,28 @@
-// Command benchdiff is the CI bench gate: it compares a current inference
-// benchmark result (cmpbench -exp infer -json) against the committed
-// baseline (BENCH_infer.json) and exits nonzero when performance regressed.
+// Command benchdiff is the CI bench gate: it compares freshly measured
+// benchmark results (cmpbench -exp infer/cache/forest -json) against the
+// committed baselines (BENCH_infer.json, BENCH_forest.json, ...) and exits
+// nonzero when performance regressed.
 //
-// Rows are matched by (set, mode, workers) in occurrence order — the
-// baseline may legitimately contain duplicate keys (on a single-core
-// runner the batch row at workers=1 and workers=GOMAXPROCS coincide). A
-// row fails the gate when its ns_per_record exceeds the baseline's by more
-// than -max-regress (a ratio; 0.25 means +25%), or when allocs_per_record
-// increased beyond -alloc-slack at all. Rows present in only one file are
-// reported but do not fail the gate (the benchmark schema may grow).
+// -baseline and -current take comma-separated lists of equal length; pair i
+// of the two lists is diffed independently and any pair's failure fails the
+// gate, so one invocation gates every committed baseline.
+//
+// Rows are matched by (set, mode, workers); the baseline may legitimately
+// contain duplicate keys (on a single-core runner the batch row at
+// workers=1 and workers=GOMAXPROCS coincide), and duplicates are matched by
+// occurrence order within their key. A row fails the gate when its
+// ns_per_record exceeds the baseline's by more than -max-regress (a ratio;
+// 0.25 means +25%), or when allocs_per_record increased beyond -alloc-slack
+// at all. A key present in only one file fails the gate too — a silently
+// vanished row is how a benchmark rots — unless -allow-unmatched is set
+// (for transitions that intentionally change the benchmark schema).
 //
 // Usage:
 //
 //	cmpbench -exp infer -json current.json > /dev/null
 //	benchdiff -baseline BENCH_infer.json -current current.json
+//	benchdiff -baseline BENCH_infer.json,BENCH_forest.json \
+//	          -current cur_infer.json,cur_forest.json
 package main
 
 import (
@@ -22,23 +31,36 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cmpdt/internal/experiments"
 )
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_infer.json", "committed baseline benchmark JSON")
-	current := flag.String("current", "", "freshly measured benchmark JSON (required)")
+	baseline := flag.String("baseline", "BENCH_infer.json", "committed baseline benchmark JSON (comma-separated to gate several files)")
+	current := flag.String("current", "", "freshly measured benchmark JSON (required; comma-separated, parallel to -baseline)")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/record regression ratio (0.25 = +25%)")
 	allocSlack := flag.Float64("alloc-slack", 1e-3, "tolerated allocs/record increase (absolute; covers goroutine-pool jitter in sharded modes)")
+	allowUnmatched := flag.Bool("allow-unmatched", false, "tolerate rows present in only one file instead of failing the gate")
 	flag.Parse()
 
-	code, err := diff(*baseline, *current, *maxRegress, *allocSlack, os.Stdout)
+	code, err := diffAll(splitList(*baseline), splitList(*current), *maxRegress, *allocSlack, *allowUnmatched, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
 	os.Exit(code)
+}
+
+// splitList parses a comma-separated path list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // key identifies a benchmark row; equal keys may repeat, so rows are
@@ -49,43 +71,74 @@ type key struct {
 	Workers int
 }
 
-func readResult(path string) (*experiments.InferResult, error) {
+// benchRows extracts the gated rows from a benchmark JSON file. Every
+// baseline format (infer, cache, forest) carries a top-level "rows" array
+// of the shared row shape; decoding just that field keeps one gate
+// implementation across them.
+func benchRows(path string) ([]experiments.InferRow, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var r experiments.InferResult
+	var r struct {
+		Rows []experiments.InferRow `json:"rows"`
+	}
 	if err := json.NewDecoder(f).Decode(&r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(r.Rows) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark rows", path)
 	}
-	return &r, nil
+	return r.Rows, nil
 }
 
 // index groups rows by key, preserving occurrence order within a key.
-func index(r *experiments.InferResult) map[key][]experiments.InferRow {
+func index(rows []experiments.InferRow) map[key][]experiments.InferRow {
 	m := make(map[key][]experiments.InferRow)
-	for _, row := range r.Rows {
+	for _, row := range rows {
 		k := key{row.Set, row.Mode, row.Workers}
 		m[k] = append(m[k], row)
 	}
 	return m
 }
 
+// diffAll gates every (baseline, current) pair and returns the process
+// exit code (0 pass, 1 any regression).
+func diffAll(basePaths, curPaths []string, maxRegress, allocSlack float64, allowUnmatched bool, w io.Writer) (int, error) {
+	if len(curPaths) == 0 {
+		return 0, fmt.Errorf("-current is required")
+	}
+	if len(basePaths) != len(curPaths) {
+		return 0, fmt.Errorf("-baseline lists %d file(s), -current lists %d; the lists pair up positionally", len(basePaths), len(curPaths))
+	}
+	code := 0
+	for i := range basePaths {
+		if len(basePaths) > 1 {
+			fmt.Fprintf(w, "== %s vs %s ==\n", basePaths[i], curPaths[i])
+		}
+		c, err := diff(basePaths[i], curPaths[i], maxRegress, allocSlack, allowUnmatched, w)
+		if err != nil {
+			return 0, err
+		}
+		if c > code {
+			code = c
+		}
+	}
+	return code, nil
+}
+
 // diff compares current against baseline and returns the process exit code
 // (0 pass, 1 regression).
-func diff(basePath, curPath string, maxRegress, allocSlack float64, w io.Writer) (int, error) {
+func diff(basePath, curPath string, maxRegress, allocSlack float64, allowUnmatched bool, w io.Writer) (int, error) {
 	if curPath == "" {
 		return 0, fmt.Errorf("-current is required")
 	}
-	base, err := readResult(basePath)
+	base, err := benchRows(basePath)
 	if err != nil {
 		return 0, err
 	}
-	cur, err := readResult(curPath)
+	cur, err := benchRows(curPath)
 	if err != nil {
 		return 0, err
 	}
@@ -93,14 +146,21 @@ func diff(basePath, curPath string, maxRegress, allocSlack float64, w io.Writer)
 	baseIdx := index(base)
 	failed := 0
 	seen := make(map[key]int)
-	for _, row := range cur.Rows {
+	unmatchedStatus, unmatchedNote := "FAIL ", "gated; pass -allow-unmatched for schema transitions"
+	if allowUnmatched {
+		unmatchedStatus, unmatchedNote = "note ", "not gated"
+	}
+	for _, row := range cur {
 		k := key{row.Set, row.Mode, row.Workers}
 		i := seen[k]
 		seen[k]++
 		peers := baseIdx[k]
 		if i >= len(peers) {
-			fmt.Fprintf(w, "NEW   %s/%s/w%d: %.1f ns/rec (no baseline row, not gated)\n",
-				k.Set, k.Mode, k.Workers, row.NsPerRecord)
+			fmt.Fprintf(w, "%sNEW %s/%s/w%d: %.1f ns/rec (no baseline row; %s)\n",
+				unmatchedStatus, k.Set, k.Mode, k.Workers, row.NsPerRecord, unmatchedNote)
+			if !allowUnmatched {
+				failed++
+			}
 			continue
 		}
 		b := peers[i]
@@ -122,8 +182,11 @@ func diff(basePath, curPath string, maxRegress, allocSlack float64, w io.Writer)
 	}
 	for k, peers := range baseIdx {
 		if missing := len(peers) - seen[k]; missing > 0 {
-			fmt.Fprintf(w, "GONE  %s/%s/w%d: %d baseline row(s) absent from current (not gated)\n",
-				k.Set, k.Mode, k.Workers, missing)
+			fmt.Fprintf(w, "%sGONE %s/%s/w%d: %d baseline row(s) absent from current (%s)\n",
+				unmatchedStatus, k.Set, k.Mode, k.Workers, missing, unmatchedNote)
+			if !allowUnmatched {
+				failed++
+			}
 		}
 	}
 	if failed > 0 {

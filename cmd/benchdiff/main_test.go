@@ -47,7 +47,7 @@ func TestWithinGatePasses(t *testing.T) {
 	curPath := writeResult(t, dir, "cur.json", cur)
 
 	var out strings.Builder
-	code, err := diff(base, curPath, 0.25, 1e-3, &out)
+	code, err := diff(base, curPath, 0.25, 1e-3, false, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestSyntheticTwoXSlowdownFails(t *testing.T) {
 	curPath := writeResult(t, dir, "cur.json", cur)
 
 	var out strings.Builder
-	code, err := diff(base, curPath, 0.25, 1e-3, &out)
+	code, err := diff(base, curPath, 0.25, 1e-3, false, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestAllocIncreaseFails(t *testing.T) {
 	curPath := writeResult(t, dir, "cur.json", cur)
 
 	var out strings.Builder
-	code, err := diff(base, curPath, 0.25, 1e-3, &out)
+	code, err := diff(base, curPath, 0.25, 1e-3, false, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,9 @@ func TestAllocIncreaseFails(t *testing.T) {
 	}
 }
 
-func TestNewAndGoneRowsDoNotGate(t *testing.T) {
+// TestUnmatchedRowsGate: a key present in only one file is a gate failure
+// by default — silently dropped benchmark rows must not pass CI.
+func TestUnmatchedRowsGate(t *testing.T) {
 	dir := t.TempDir()
 	base := sampleResult()
 	cur := sampleResult()
@@ -111,32 +113,110 @@ func TestNewAndGoneRowsDoNotGate(t *testing.T) {
 	curPath := writeResult(t, dir, "cur.json", cur)
 
 	var out strings.Builder
-	code, err := diff(basePath, curPath, 0.25, 1e-3, &out)
+	code, err := diff(basePath, curPath, 0.25, 1e-3, false, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if code != 0 {
-		t.Fatalf("schema drift should not gate, got exit %d:\n%s", code, out.String())
+	if code != 1 {
+		t.Fatalf("unmatched keys should gate, got exit %d:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "NEW") || !strings.Contains(out.String(), "GONE") {
 		t.Fatalf("expected NEW and GONE notes:\n%s", out.String())
 	}
 }
 
+// TestAllowUnmatchedTolerates: -allow-unmatched restores the permissive
+// behavior for intentional schema transitions.
+func TestAllowUnmatchedTolerates(t *testing.T) {
+	dir := t.TempDir()
+	base := sampleResult()
+	cur := sampleResult()
+	cur.Rows = append(cur.Rows[:1], experiments.InferRow{
+		Set: "hot", Mode: "pointer", Workers: 1, NsPerRecord: 40,
+	})
+	basePath := writeResult(t, dir, "base.json", base)
+	curPath := writeResult(t, dir, "cur.json", cur)
+
+	var out strings.Builder
+	code, err := diff(basePath, curPath, 0.25, 1e-3, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("-allow-unmatched should tolerate schema drift, got exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestDiffAllMultiBaseline pairs baseline and current lists positionally
+// and fails the whole gate when any pair regresses.
+func TestDiffAllMultiBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseA := writeResult(t, dir, "baseA.json", sampleResult())
+	curAOK := writeResult(t, dir, "curA.json", sampleResult())
+
+	forestBase := &experiments.ForestResult{
+		Workload: "Function 2", Records: 1000, Trees: 16, ForestsIdentical: true,
+		Rows: []experiments.InferRow{
+			{Set: "forest", Mode: "vote", Workers: 1, NsPerRecord: 100},
+		},
+	}
+	writeForest := func(name string, r *experiments.ForestResult) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	forestBasePath := writeForest("forest_base.json", forestBase)
+	slow := *forestBase
+	slow.Rows = []experiments.InferRow{{Set: "forest", Mode: "vote", Workers: 1, NsPerRecord: 200}}
+	forestSlowPath := writeForest("forest_slow.json", &slow)
+
+	var out strings.Builder
+	code, err := diffAll([]string{baseA, forestBasePath}, []string{curAOK, forestBasePath}, 0.25, 1e-3, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("matching pairs should pass, got exit %d:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code, err = diffAll([]string{baseA, forestBasePath}, []string{curAOK, forestSlowPath}, 0.25, 1e-3, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("a regressed pair should fail the gate, got exit %d:\n%s", code, out.String())
+	}
+
+	if _, err := diffAll([]string{baseA}, []string{curAOK, forestBasePath}, 0.25, 1e-3, false, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for mismatched list lengths")
+	}
+	if _, err := diffAll(nil, nil, 0.25, 1e-3, false, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for empty -current")
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	base := writeResult(t, dir, "base.json", sampleResult())
-	if _, err := diff(base, "", 0.25, 1e-3, &strings.Builder{}); err == nil {
+	if _, err := diff(base, "", 0.25, 1e-3, false, &strings.Builder{}); err == nil {
 		t.Fatal("expected error without -current")
 	}
-	if _, err := diff(base, filepath.Join(dir, "missing.json"), 0.25, 1e-3, &strings.Builder{}); err == nil {
+	if _, err := diff(base, filepath.Join(dir, "missing.json"), 0.25, 1e-3, false, &strings.Builder{}); err == nil {
 		t.Fatal("expected error for missing current file")
 	}
 	empty := filepath.Join(dir, "empty.json")
 	if err := os.WriteFile(empty, []byte(`{"rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := diff(base, empty, 0.25, 1e-3, &strings.Builder{}); err == nil {
+	if _, err := diff(base, empty, 0.25, 1e-3, false, &strings.Builder{}); err == nil {
 		t.Fatal("expected error for a result with no rows")
 	}
 }

@@ -27,7 +27,7 @@ import (
 	"cmpdt/internal/synth"
 )
 
-var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache"}
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
@@ -193,6 +193,25 @@ func main() {
 					return err
 				}
 				if err := experiments.WriteCacheJSON(f, res); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+			return nil
+		case "forest":
+			res, err := opts.ForestBench()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Forest: bagged ensemble determinism, OOB, and serving paths ==")
+			experiments.PrintForestBench(os.Stdout, res)
+			if *inferJSON != "" {
+				f, err := os.Create(*inferJSON)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteForestJSON(f, res); err != nil {
 					f.Close()
 					return err
 				}

@@ -1,5 +1,8 @@
-// Command cmpclassify applies a saved tree model (see cmptrain -save or the
-// library's Tree.SaveModel) to records and writes predictions.
+// Command cmpclassify applies a saved model — a single tree (cmptrain
+// -save, Tree.SaveModel) or a bagged forest (cmptrain -forest -save,
+// Forest.SaveModel) — to records and writes predictions. The model kind is
+// sniffed from the file; both kinds serve through the same predictor
+// interface.
 //
 // Input records come as CSV with a header row naming the model's attributes
 // (a trailing "class" column, if present, is used to report accuracy).
@@ -72,7 +75,7 @@ func runStore(modelPath, dataPath string, cacheBytes int64, metricsJSON string, 
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
-	tree, err := cmpdt.LoadModel(modelPath)
+	model, err := cmpdt.LoadPredictor(modelPath)
 	if err != nil {
 		return err
 	}
@@ -80,7 +83,7 @@ func runStore(modelPath, dataPath string, cacheBytes int64, metricsJSON string, 
 	if err != nil {
 		return err
 	}
-	schema := tree.ModelSchema()
+	schema := model.ModelSchema()
 	if err := checkStoreSchema(schema, f); err != nil {
 		return err
 	}
@@ -103,7 +106,6 @@ func runStore(modelPath, dataPath string, cacheBytes int64, metricsJSON string, 
 		return err
 	}
 
-	ct := tree.Compiled()
 	var total, correct int
 	row := make([]string, len(header))
 	err = f.Scan(func(rid int, vals []float64, label int) error {
@@ -114,7 +116,7 @@ func runStore(modelPath, dataPath string, cacheBytes int64, metricsJSON string, 
 				row[i] = strconv.FormatFloat(vals[i], 'g', -1, 64)
 			}
 		}
-		pred := ct.PredictClass(vals)
+		pred := model.PredictClass(vals)
 		row[len(row)-2] = schema.Classes[label]
 		row[len(row)-1] = pred
 		records.Inc()
@@ -241,7 +243,7 @@ func run(modelPath string, batch, workers int, metricsJSON string, in io.Reader,
 	if batch < 0 {
 		return fmt.Errorf("-batch must be >= 0, got %d", batch)
 	}
-	tree, err := cmpdt.LoadModel(modelPath)
+	model, err := cmpdt.LoadPredictor(modelPath)
 	if err != nil {
 		return err
 	}
@@ -259,7 +261,7 @@ func run(modelPath string, batch, workers int, metricsJSON string, in io.Reader,
 	if err != nil {
 		return fmt.Errorf("reading header: %w", err)
 	}
-	im, err := newInputMap(tree.ModelSchema(), header)
+	im, err := newInputMap(model.ModelSchema(), header)
 	if err != nil {
 		return err
 	}
@@ -271,9 +273,9 @@ func run(modelPath string, batch, workers int, metricsJSON string, in io.Reader,
 
 	var total, correct int
 	if batch > 0 {
-		total, correct, err = classifyBatched(tree.Compiled(), im, cr, cw, batch, workers, reg)
+		total, correct, err = classifyBatched(model, im, cr, cw, batch, workers, reg)
 	} else {
-		total, correct, err = classifySerial(tree, im, cr, cw, reg)
+		total, correct, err = classifySerial(model, im, cr, cw, reg)
 	}
 	if err != nil {
 		return err
@@ -316,7 +318,7 @@ func writeMetrics(path string, rep *obs.Report) error {
 }
 
 // classifySerial is the record-at-a-time path.
-func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writer, reg *obs.Registry) (total, correct int, err error) {
+func classifySerial(model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv.Writer, reg *obs.Registry) (total, correct int, err error) {
 	records := reg.Counter("records")
 	vals := make([]float64, len(im.schema.Attrs))
 	for line := 2; ; line++ {
@@ -330,7 +332,7 @@ func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writ
 		if err := im.parseInto(vals, rec, line); err != nil {
 			return 0, 0, err
 		}
-		pred := tree.PredictClass(vals)
+		pred := model.PredictClass(vals)
 		records.Inc()
 		if err := cw.Write(append(rec, pred)); err != nil {
 			return 0, 0, err
@@ -344,10 +346,11 @@ func classifySerial(tree *cmpdt.Tree, im *inputMap, cr *csv.Reader, cw *csv.Writ
 	}
 }
 
-// classifyBatched streams records in groups of batch through the compiled
-// tree. One flat values buffer backs every record slot, so the steady state
-// allocates only the raw CSV rows the encoding/csv reader produces.
-func classifyBatched(ct *cmpdt.CompiledTree, im *inputMap, cr *csv.Reader, cw *csv.Writer, batch, workers int, reg *obs.Registry) (total, correct int, err error) {
+// classifyBatched streams records in groups of batch through the model's
+// compiled batch path. One flat values buffer backs every record slot, so
+// the steady state allocates only the raw CSV rows the encoding/csv reader
+// produces.
+func classifyBatched(model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv.Writer, batch, workers int, reg *obs.Registry) (total, correct int, err error) {
 	records := reg.Counter("records")
 	batches := reg.Counter("batches")
 	batchNs := reg.Histogram("batch_predict_ns", obs.DefaultLatencyBounds)
@@ -367,7 +370,7 @@ func classifyBatched(ct *cmpdt.CompiledTree, im *inputMap, cr *csv.Reader, cw *c
 			return nil
 		}
 		predictStart := time.Now()
-		ct.PredictBatchWorkers(preds[:len(rows)], vals[:len(rows)], workers)
+		model.PredictBatchWorkers(preds[:len(rows)], vals[:len(rows)], workers)
 		batchNs.Observe(time.Since(predictStart).Nanoseconds())
 		batches.Inc()
 		records.Add(int64(len(rows)))

@@ -23,7 +23,9 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
+	"cmpdt"
 	"cmpdt/internal/eval"
 	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
@@ -44,6 +46,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the tree printout")
 	save := flag.String("save", "", "write the trained model as JSON to this path")
 	metricsJSON := flag.String("metrics-json", "", `write the observability report as JSON to this path ("-" for stdout)`)
+	forestMode := flag.Bool("forest", false, "train a bagged forest of CMP trees instead of a single tree")
+	trees := flag.Int("trees", 16, "ensemble size for -forest")
+	featureFrac := flag.Float64("feature-frac", 1.0, "fraction of attributes each -forest tree may split on (0 < f <= 1)")
+	noBootstrap := flag.Bool("no-bootstrap", false, "train every -forest tree on the full set (disables out-of-bag estimation)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,10 +75,102 @@ func main() {
 		SkipInvalid:     *skipInvalid,
 		CacheBytes:      cacheBytes,
 	}
+	if *forestMode {
+		fcfg := forestOptions{
+			algo:        *algo,
+			trees:       *trees,
+			featureFrac: *featureFrac,
+			noBootstrap: *noBootstrap,
+			eval:        opts,
+		}
+		if err := runForest(ctx, fcfg, *data, *save, *metricsJSON, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cmptrain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(ctx, *algo, *data, *save, *metricsJSON, *quiet, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cmptrain:", err)
 		os.Exit(1)
 	}
+}
+
+// forestOptions carries the -forest flags plus the shared tree knobs.
+type forestOptions struct {
+	algo        string
+	trees       int
+	featureFrac float64
+	noBootstrap bool
+	eval        eval.Options
+}
+
+// runForest trains a bagged ensemble through the public forest API and
+// prints its summary. Only the CMP family can serve as the member
+// algorithm: the forest layer drives per-tree feature subsets through
+// SplitAttrs, which the baseline classifiers do not support.
+func runForest(ctx context.Context, fo forestOptions, data, save, metricsJSON string, stdout io.Writer) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	var algo cmpdt.Algorithm
+	switch fo.algo {
+	case eval.AlgoCMPS:
+		algo = cmpdt.CMPS
+	case eval.AlgoCMPB:
+		algo = cmpdt.CMPB
+	case eval.AlgoCMP:
+		algo = cmpdt.CMP
+	default:
+		return fmt.Errorf("-forest requires a CMP-family -algo (cmp-s, cmp-b, cmp), got %q", fo.algo)
+	}
+	cfg := cmpdt.ForestConfig{
+		Trees:       fo.trees,
+		FeatureFrac: fo.featureFrac,
+		NoBootstrap: fo.noBootstrap,
+		Seed:        fo.eval.Seed,
+		Tree: cmpdt.Config{
+			Algorithm:       algo,
+			Intervals:       fo.eval.Intervals,
+			MaxAlive:        fo.eval.MaxAlive,
+			ObliqueAllPairs: fo.eval.ObliqueAllPairs,
+			DisablePruning:  fo.eval.PruneOff,
+			Workers:         fo.eval.Workers,
+			Seed:            fo.eval.Seed,
+			CacheBytes:      fo.eval.CacheBytes,
+		},
+	}
+	if fo.eval.SkipInvalid {
+		cfg.Tree.Validation = cmpdt.ValidateSkip
+	}
+	if metricsJSON != "" {
+		cfg.Observer = cmpdt.NewObserver()
+	}
+	start := time.Now()
+	f, err := cmpdt.TrainForestFileContext(ctx, data, cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	if metricsJSON != "" {
+		if err := writeMetrics(metricsJSON, cfg.Observer.Report()); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "algorithm   %s forest\n", fo.algo)
+	fmt.Fprintf(stdout, "trees       %d (feature_frac %.2f, bootstrap %v)\n",
+		f.NumTrees(), fo.featureFrac, !fo.noBootstrap)
+	fmt.Fprintf(stdout, "wall time   %v\n", wall)
+	fmt.Fprintf(stdout, "nodes       %d across the ensemble\n", f.TotalNodes())
+	if f.OOBCount() > 0 {
+		fmt.Fprintf(stdout, "oob error   %.4f over %d records\n", f.OOBError(), f.OOBCount())
+	}
+	if save != "" {
+		if err := f.SaveModel(save); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "model saved to %s\n", save)
+	}
+	return nil
 }
 
 func run(ctx context.Context, algo, data, save, metricsJSON string, quiet bool, opts eval.Options, stdout io.Writer) error {

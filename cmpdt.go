@@ -567,6 +567,18 @@ func (t *Tree) PredictBatch(ds *Dataset) []int {
 	return out
 }
 
+// PredictBatchWorkers classifies records[i] into dst[i] for every i through
+// the compiled flat tree, sharded over the given number of goroutines (<= 0
+// selects GOMAXPROCS), and returns dst (grown if too short). Predictions
+// are identical for every worker count.
+func (t *Tree) PredictBatchWorkers(dst []int, records [][]float64, workers int) []int {
+	if len(dst) < len(records) {
+		dst = make([]int, len(records))
+	}
+	t.flat().PredictBatchWorkers(dst, records, workers)
+	return dst
+}
+
 // Compiled returns the tree flattened into a contiguous array layout whose
 // Predict is an iterative, allocation-free index walk — bit-identical to
 // Tree.Predict but considerably faster, and the representation to use on

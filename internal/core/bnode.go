@@ -114,6 +114,13 @@ type bnode struct {
 	// used when a failed resolution sends the node back to rebuild its
 	// histograms from the next scan.
 	notBefore int
+
+	// queued marks membership in the builder's scanned list, so a node
+	// re-queued by a revert while it still sits in the list (a new child
+	// whose same-scan secondary split went pending and then failed) is not
+	// entered twice — a duplicate entry would be decided twice in one
+	// round, and the second decision corrupts the first's split.
+	queued bool
 }
 
 // pendingSplit is a provisional split awaiting exact resolution.

@@ -71,6 +71,21 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		obs:    cfg.Obs,
 	}
+	if cfg.SplitAttrs != nil {
+		b.allowed = make([]bool, b.na)
+		for _, a := range cfg.SplitAttrs {
+			if a < 0 || a >= b.na {
+				return nil, fmt.Errorf("core: SplitAttrs index %d outside [0,%d)", a, b.na)
+			}
+			if b.allowed[a] {
+				return nil, fmt.Errorf("core: SplitAttrs lists attribute %d twice", a)
+			}
+			b.allowed[a] = true
+		}
+		if len(cfg.SplitAttrs) == 0 {
+			return nil, errors.New("core: SplitAttrs allows no attribute")
+		}
+	}
 	for a := 0; a < b.na; a++ {
 		if b.schema.Attrs[a].Kind == dataset.Numeric {
 			b.numeric = append(b.numeric, a)
@@ -137,6 +152,7 @@ type builder struct {
 	na, nc int
 
 	numeric []int    // numeric attribute indices
+	allowed []bool   // split-candidate attributes (nil = all; Config.SplitAttrs)
 	useMats bool     // CMP-B / CMP with >= 2 numeric attributes
 	pairs   [][2]int // ObliqueAllPairs extension: all numeric pairs
 
@@ -156,6 +172,12 @@ type builder struct {
 	stats Stats
 	rng   *rand.Rand
 	obs   *obs.Collector // nil when observability is off; all methods nil-safe
+}
+
+// attrAllowed reports whether attribute a may appear in a split test (see
+// Config.SplitAttrs).
+func (b *builder) attrAllowed(a int) bool {
+	return b.allowed == nil || b.allowed[a]
 }
 
 // ctxCheckMask throttles context polling in serial scan loops: the context
@@ -350,7 +372,7 @@ func (b *builder) makeRoot() {
 	}
 	b.root = b.newBnode(0, b.rootDisc, x)
 	b.allocHists(b.root)
-	b.scanned = append(b.scanned, b.root)
+	b.queueScanned(b.root)
 }
 
 // newBnode creates a builder node (state stBuilding) with its tree node.
@@ -428,6 +450,16 @@ func (b *builder) makeHists(disc []*quantile.Discretizer, xAttr int) histSet {
 
 func (b *builder) hasWork() bool {
 	return len(b.scanned) > 0 || len(b.pendings) > 0 || len(b.collects) > 0
+}
+
+// queueScanned enters n into the scanned list exactly once; a node already
+// queued (tracked by bnode.queued) is left where it is.
+func (b *builder) queueScanned(n *bnode) {
+	if n.queued {
+		return
+	}
+	n.queued = true
+	b.scanned = append(b.scanned, n)
 }
 
 // scan performs one pass over the training set, routing every record to its
@@ -817,7 +849,7 @@ func (b *builder) revertToBuilding(p *bnode, attr int, counts []int) {
 	p.buffer.reset()
 	b.allocHists(p)
 	p.notBefore = b.round + 1
-	b.scanned = append(b.scanned, p)
+	b.queueScanned(p)
 }
 
 // mergedMarginalView reconstructs a marginal-only decision view for a
@@ -996,6 +1028,7 @@ func (b *builder) finishCollects() {
 			MaxDepth:        b.cfg.MaxDepth - c.depth,
 			MinGiniGain:     b.cfg.MinGiniGain,
 			PurityStop:      b.cfg.PurityStop,
+			AllowedAttrs:    b.allowed,
 		})
 		// Graft in place so the parent's pointer to c.tn stays valid.
 		*c.tn = *sub
@@ -1016,6 +1049,9 @@ func (b *builder) decideScanned() {
 	defer span.End()
 	toDecide := b.scanned
 	b.scanned = nil
+	for _, n := range toDecide {
+		n.queued = false
+	}
 	ready := toDecide[:0:0]
 	for _, n := range toDecide {
 		if n.dead || n.state != stBuilding {
@@ -1023,7 +1059,7 @@ func (b *builder) decideScanned() {
 		}
 		if n.notBefore > b.round {
 			// Reverted this round; its histograms await the next scan.
-			b.scanned = append(b.scanned, n)
+			b.queueScanned(n)
 			continue
 		}
 		ready = append(ready, n)

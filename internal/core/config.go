@@ -139,6 +139,15 @@ type Config struct {
 	Workers int
 	// Seed drives the discretization sample and the root's random X-axis.
 	Seed int64
+	// SplitAttrs, when non-nil, restricts split selection to the listed
+	// attribute indices: numeric thresholds, categorical subsets, the
+	// in-memory exact finisher, and both ends of a linear combination all
+	// draw only from this set. Attributes outside it still feed
+	// discretization and histogram axes but never appear in a split test —
+	// the per-tree feature-subsampling hook the forest layer builds on.
+	// Nil (the default) allows every attribute; duplicate or out-of-range
+	// indices are rejected, as is a set with no usable attribute.
+	SplitAttrs []int
 	// Validation selects how invalid records (NaN/Inf features,
 	// out-of-range labels or categorical codes) are treated: ValidateStrict
 	// (the zero value) aborts the build, ValidateSkip drops and counts

@@ -37,6 +37,11 @@ func (b *builder) bestObliqueSplit(v *histView) (obliqueLine, bool) {
 		if om.m == nil || v.disc[om.xa] == nil || v.disc[om.ya] == nil {
 			continue
 		}
+		// Feature subsampling: a linear combination may only use allowed
+		// attributes on both axes.
+		if !b.attrAllowed(om.xa) || !b.attrAllowed(om.ya) {
+			continue
+		}
 		if om.m.XBins() < 2 || om.m.YBins() < 2 {
 			continue
 		}

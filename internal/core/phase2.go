@@ -231,6 +231,9 @@ func evalNumeric(attr int, h *histogram.Hist1D, totals []int, disc *quantile.Dis
 // are not retried. Pure: reads only the node's own state and the view.
 func (b *builder) evalNumericAttrs(n *bnode, v *histView) (best, evalX *numEval) {
 	for _, a := range b.numeric {
+		if !b.attrAllowed(a) {
+			continue
+		}
 		if v.marg[a] == nil || v.disc[a] == nil || v.disc[a].Bins() < 2 || n.banned[a] {
 			continue
 		}
@@ -255,7 +258,7 @@ func (b *builder) evalNumericAttrs(n *bnode, v *histView) (best, evalX *numEval)
 func (b *builder) evalCategoricalAttrs(v *histView) (attr int, mask uint64, g float64) {
 	attr, g = -1, math.Inf(1)
 	for a := 0; a < b.na; a++ {
-		if b.schema.Attrs[a].Kind != dataset.Categorical || v.marg[a] == nil {
+		if b.schema.Attrs[a].Kind != dataset.Categorical || v.marg[a] == nil || !b.attrAllowed(a) {
 			continue
 		}
 		h := v.marg[a]
@@ -639,6 +642,11 @@ func (b *builder) predictX(v *histView, exclude int) int {
 			// just split; leave it to the exact slice paths.
 			continue
 		}
+		if !b.attrAllowed(a) {
+			// A disallowed attribute can never be split on, so a matrix
+			// built around it would be wasted.
+			continue
+		}
 		h := v.marg[a]
 		if h == nil || occupiedBins(h) < 2 {
 			continue
@@ -652,7 +660,7 @@ func (b *builder) predictX(v *histView, exclude int) int {
 		}
 	}
 	if bestA < 0 {
-		bestA = b.numeric[0]
+		bestA = b.xDefault()
 	}
 	return bestA
 }
@@ -710,6 +718,9 @@ func (b *builder) predictChildX(v *histView, attr, binLo, binHi int) int {
 		}
 	}
 	for _, a := range b.numeric {
+		if !b.attrAllowed(a) {
+			continue
+		}
 		switch a {
 		case v.xAttr:
 			score(a, s.MarginalX(), childTotals)
@@ -720,9 +731,22 @@ func (b *builder) predictChildX(v *histView, attr, binLo, binHi int) int {
 		}
 	}
 	if bestA < 0 {
-		bestA = b.numeric[0]
+		bestA = b.xDefault()
 	}
 	return bestA
+}
+
+// xDefault is the fallback X-axis when no candidate scored: the first
+// allowed numeric attribute, or the first numeric attribute outright when
+// the subsample excludes them all (the matrix is then wasted but harmless —
+// no split path consults disallowed attributes).
+func (b *builder) xDefault() int {
+	for _, a := range b.numeric {
+		if b.attrAllowed(a) {
+			return a
+		}
+	}
+	return b.numeric[0]
 }
 
 // newChild creates a building child node with the given X-axis attribute,
@@ -732,7 +756,7 @@ func (b *builder) predictChildX(v *histView, attr, binLo, binHi int) int {
 // which must stay histogram-mergeable).
 func (b *builder) newChild(depth int, disc []*quantile.Discretizer, x int, approxCounts []int, allowCollect bool) *bnode {
 	if b.useMats && (x < 0 || disc[x] == nil || disc[x].Bins() < 1) {
-		x = b.numeric[0]
+		x = b.xDefault()
 	}
 	c := b.newBnode(depth, disc, x)
 	if approxCounts != nil {
@@ -749,7 +773,7 @@ func (b *builder) newChild(depth int, disc []*quantile.Discretizer, x int, appro
 	// a failed resolution re-decides a node while the current round's
 	// decision list is already snapshotted).
 	c.notBefore = b.round + 1
-	b.scanned = append(b.scanned, c)
+	b.queueScanned(c)
 	return c
 }
 

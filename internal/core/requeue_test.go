@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// splitmixSeq replicates the forest package's splitmix64 stream so the test
+// pins the exact bootstrap-mask + feature-subset combination that first
+// exposed the double-queue bug (tree 7 of a 16-tree bagged forest).
+func splitmixSeq(seed int64, s int64) int64 {
+	z := uint64(seed) + (uint64(s)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+func splitmixPermSeq(seed int64, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	z := uint64(seed)
+	next := func() uint64 {
+		z += 0x9E3779B97F4A7C15
+		x := z
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		return x ^ (x >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// TestRequeuedChildDeterminism is a regression test for a scanned-list
+// double-queue: a node created as a child and queued for the next round
+// could be split again in the same scan (a CMP-B secondary decision), go
+// pending, fail resolution, and be re-appended by revertToBuilding while its
+// original entry still sat in the list. Both entries then reached the same
+// decide round; the serial path's second decision read the already-dropped
+// histograms and overwrote a real split with an empty leaf, while the
+// parallel path's precomputed view re-installed the split — so worker
+// counts disagreed. Triggering it needs bootstrap multiplicities plus a
+// restricted split-attribute subset, which is exactly how a bagged forest
+// builds its trees.
+func TestRequeuedChildDeterminism(t *testing.T) {
+	const n = 8000
+	tbl := synth.Generate(synth.F2, n, 1)
+	mem := storage.NewMem(tbl)
+	mask := storage.BootstrapMask(n, splitmixSeq(1, 14))
+
+	na := tbl.Schema().NumAttrs()
+	k := int(0.7*float64(na) + 0.5)
+	perm := splitmixPermSeq(splitmixSeq(1, 15), na)
+	attrs := append([]int(nil), perm[:k]...)
+	sort.Ints(attrs)
+
+	build := func(workers int) []byte {
+		view, err := storage.NewMasked(mem, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Default(CMPB)
+		cfg.Intervals = 100
+		cfg.MaxDepth = 10
+		cfg.InMemoryNodeRecords = 1024
+		cfg.Seed = 8
+		cfg.SplitAttrs = attrs
+		cfg.Workers = workers
+		res, err := Build(view, cfg)
+		if err != nil {
+			t.Fatalf("Build(Workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := res.Tree.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := build(1)
+	for _, w := range []int{2, 8} {
+		if got := build(w); !bytes.Equal(got, serial) {
+			t.Errorf("Workers=%d tree differs from serial build", w)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+	"cmpdt/internal/tree"
+)
+
+// splitAttrsOf collects every attribute index any split in the tree
+// consults, including both axes of linear combinations.
+func splitAttrsOf(tr *tree.Tree) map[int]bool {
+	used := map[int]bool{}
+	tr.Walk(func(n *tree.Node, _ int) {
+		if n.Split == nil {
+			return
+		}
+		switch n.Split.Kind {
+		case tree.SplitLinear:
+			used[n.Split.AttrX] = true
+			used[n.Split.AttrY] = true
+		default:
+			used[n.Split.Attr] = true
+		}
+	})
+	return used
+}
+
+func TestSplitAttrsNilEquivalentToFullSet(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 8000, 11)
+	all := make([]int, tbl.Schema().NumAttrs())
+	for i := range all {
+		all[i] = i
+	}
+	base := Default(CMPFull)
+	full := base
+	full.SplitAttrs = all
+	r1, err := Build(storage.NewMem(tbl), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Build(storage.NewMem(tbl), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tree.String() != r2.Tree.String() {
+		t.Error("SplitAttrs listing every attribute changed the tree")
+	}
+}
+
+func TestSplitAttrsRestrictsEverySplit(t *testing.T) {
+	tbl := synth.Generate(synth.F7, 12_000, 5)
+	allowed := []int{0, 2, 5}
+	for _, algo := range []Algorithm{CMPS, CMPB, CMPFull} {
+		cfg := Default(algo)
+		cfg.SplitAttrs = allowed
+		// Exercise the in-memory finisher too, which must inherit the
+		// restriction.
+		cfg.InMemoryNodeRecords = 512
+		res, err := Build(storage.NewMem(tbl), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		ok := map[int]bool{}
+		for _, a := range allowed {
+			ok[a] = true
+		}
+		for a := range splitAttrsOf(res.Tree) {
+			if !ok[a] {
+				t.Errorf("%v: split uses disallowed attribute %d", algo, a)
+			}
+		}
+	}
+}
+
+func TestSplitAttrsValidation(t *testing.T) {
+	tbl := synth.Generate(synth.F1, 200, 1)
+	for name, attrs := range map[string][]int{
+		"out-of-range": {0, 99},
+		"negative":     {-1},
+		"duplicate":    {1, 1},
+		"empty":        {},
+	} {
+		cfg := Default(CMPS)
+		cfg.SplitAttrs = attrs
+		if _, err := Build(storage.NewMem(tbl), cfg); err == nil {
+			t.Errorf("%s SplitAttrs accepted", name)
+		}
+	}
+}

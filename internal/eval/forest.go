@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"context"
+	"time"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/forest"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/tree"
+)
+
+// ForestResult is the ensemble counterpart of RunResult: the same uniform
+// measurements, taken over the whole bagged build (every tree trains
+// against the same shared source, so the I/O totals are cumulative across
+// members).
+type ForestResult struct {
+	N     int
+	Trees int
+
+	WallTime   time.Duration
+	SimSeconds float64
+
+	Scans        int64
+	BytesRead    int64
+	PagesRead    int64
+	PeakMemBytes int64
+
+	TotalNodes int
+	OOBError   float64
+	OOBCount   int
+
+	TrainAccuracy float64
+	TestAccuracy  float64
+
+	// IOStats is the cumulative I/O accounting summed over every tree's
+	// masked view of the shared source.
+	IOStats storage.Stats
+}
+
+// RunForest trains a bagged CMP forest over src under the eval harness,
+// optionally computing train/test accuracy (either table may be nil).
+func RunForest(src storage.RangeSource, trainTbl, testTbl *dataset.Table, cfg forest.Config) (*ForestResult, *forest.Forest, error) {
+	return RunForestContext(context.Background(), src, trainTbl, testTbl, cfg)
+}
+
+// RunForestContext is RunForest with cancellation, mirroring RunContext.
+func RunForestContext(ctx context.Context, src storage.RangeSource, trainTbl, testTbl *dataset.Table, cfg forest.Config) (*ForestResult, *forest.Forest, error) {
+	src.ResetStats()
+	start := time.Now()
+	res, err := forest.TrainContext(ctx, src, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := res.Forest
+	io := res.IO
+	r := &ForestResult{
+		N:          src.NumRecords(),
+		Trees:      f.NumTrees(),
+		WallTime:   time.Since(start),
+		SimSeconds: DefaultCostModel.Seconds(io.BytesRead + io.BytesWritten),
+		Scans:      io.Scans,
+		BytesRead:  io.BytesRead,
+		PagesRead:  io.PagesRead,
+		TotalNodes: f.TotalNodes(),
+		OOBError:   f.OOBError,
+		OOBCount:   f.OOBCount,
+		IOStats:    io,
+	}
+	if res.Report != nil {
+		r.PeakMemBytes = res.Report.Build.PeakMemoryBytes
+	}
+	if !f.Regression() && (trainTbl != nil || testTbl != nil) {
+		c := f.Compile()
+		if trainTbl != nil {
+			r.TrainAccuracy = forestAccuracyCompiled(c, trainTbl)
+		}
+		if testTbl != nil {
+			r.TestAccuracy = forestAccuracyCompiled(c, testTbl)
+		}
+	}
+	return r, f, nil
+}
+
+// ForestAccuracy returns the fraction of tbl's records the compiled
+// ensemble classifies correctly by majority vote.
+func ForestAccuracy(f *forest.Forest, tbl *dataset.Table) float64 {
+	if tbl.NumRecords() == 0 {
+		return 0
+	}
+	return forestAccuracyCompiled(f.Compile(), tbl)
+}
+
+func forestAccuracyCompiled(c *tree.CompiledForest, tbl *dataset.Table) float64 {
+	n := tbl.NumRecords()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if c.Predict(tbl.Row(i)) == tbl.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

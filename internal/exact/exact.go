@@ -25,6 +25,10 @@ type Config struct {
 	// PurityStop, when positive, stops splitting nodes whose majority class
 	// covers at least this fraction of records.
 	PurityStop float64
+	// AllowedAttrs, when non-nil, restricts splits to attributes whose
+	// entry is true — the in-memory leg of the CMP builder's feature
+	// subsampling. Indexed by attribute; nil allows everything.
+	AllowedAttrs []bool
 }
 
 // DefaultConfig mirrors the CMP builder's stopping rules.
@@ -137,6 +141,9 @@ func (b *builder) bestSplit(idx []int) (tree.Split, float64, bool) {
 	order := make([]int, len(idx))
 
 	for a := 0; a < b.schema.NumAttrs(); a++ {
+		if b.cfg.AllowedAttrs != nil && !b.cfg.AllowedAttrs[a] {
+			continue
+		}
 		attr := &b.schema.Attrs[a]
 		if attr.Kind == dataset.Categorical {
 			counts := make([][]int, attr.Cardinality())

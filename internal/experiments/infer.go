@@ -25,7 +25,9 @@ type InferRow struct {
 	// Mode is "pointer" (the linked Node walk), "flat" (the compiled
 	// array walk) or "batch" (the sharded PredictTable path).
 	Mode string `json:"mode"`
-	// Workers is the shard count for batch rows, 1 otherwise.
+	// Workers is the shard count for batch rows, 1 otherwise. Zero is the
+	// GOMAXPROCS sentinel: the row ran at full parallelism, whatever that
+	// is on the recording machine, so baselines compare across machines.
 	Workers int `json:"workers"`
 	// NsPerRecord is wall time per classified record.
 	NsPerRecord float64 `json:"ns_per_record"`
@@ -187,7 +189,7 @@ func (o Opts) Inference() (*InferResult, error) {
 	add("scan", "pointer", 1, scanPtr, scanPtr, allocsPerRecord(n, scanPtrPass))
 	add("scan", "flat", 1, scanFlat, scanPtr, allocsPerRecord(n, scanFlatPass))
 	add("scan", "batch", 1, batch1, scanPtr, allocsPerRecord(n, batch1Pass))
-	add("scan", "batch", out.GOMAXPROCS, batchP, scanPtr, allocsPerRecord(n, batchPPass))
+	add("scan", "batch", 0, batchP, scanPtr, allocsPerRecord(n, batchPPass))
 	return out, nil
 }
 

@@ -1,0 +1,112 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/tree"
+)
+
+// The forest model format: a versioned envelope carrying the schema, the
+// growth parameters that identify the model, the out-of-bag estimate, and
+// every member tree in training order (reusing the tree package's node
+// encoding, so split validation is shared with single-tree models).
+
+const forestFormatVersion = 1
+
+type forestEnvelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	Schema  *dataset.Schema `json:"schema"`
+	// Mode is "classify" or "regress".
+	Mode        string           `json:"mode"`
+	Target      string           `json:"target,omitempty"`
+	Seed        int64            `json:"seed"`
+	FeatureFrac float64          `json:"feature_frac"`
+	Bootstrap   bool             `json:"bootstrap"`
+	OOBError    float64          `json:"oob_error"`
+	OOBCount    int              `json:"oob_count"`
+	Trees       []*tree.NodeJSON `json:"trees"`
+}
+
+// WriteJSON serializes the forest as a self-contained JSON model.
+func (f *Forest) WriteJSON(w io.Writer) error {
+	env := forestEnvelope{
+		Format:      "cmpdt-forest",
+		Version:     forestFormatVersion,
+		Schema:      f.Schema,
+		Mode:        "classify",
+		Seed:        f.Seed,
+		FeatureFrac: f.FeatureFrac,
+		Bootstrap:   f.Bootstrap,
+		OOBError:    f.OOBError,
+		OOBCount:    f.OOBCount,
+	}
+	if f.Regression() {
+		env.Mode = "regress"
+		env.Target = f.Schema.Attrs[f.Target].Name
+	}
+	for _, t := range f.Trees {
+		env.Trees = append(env.Trees, tree.EncodeNodeJSON(t.Root))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// ReadJSON deserializes a model written by WriteJSON, validating the
+// schema and every tree.
+func ReadJSON(r io.Reader) (*Forest, error) {
+	var env forestEnvelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("forest: decoding model: %w", err)
+	}
+	if env.Format != "cmpdt-forest" {
+		return nil, fmt.Errorf("forest: not a cmpdt forest model (format %q)", env.Format)
+	}
+	if env.Version != forestFormatVersion {
+		return nil, fmt.Errorf("forest: unsupported model version %d", env.Version)
+	}
+	if env.Schema == nil {
+		return nil, fmt.Errorf("forest: model has no schema")
+	}
+	if err := env.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: model schema invalid: %w", err)
+	}
+	if len(env.Trees) == 0 {
+		return nil, fmt.Errorf("forest: model has no trees")
+	}
+	f := &Forest{
+		Schema:      env.Schema,
+		Target:      -1,
+		Seed:        env.Seed,
+		FeatureFrac: env.FeatureFrac,
+		Bootstrap:   env.Bootstrap,
+		OOBError:    env.OOBError,
+		OOBCount:    env.OOBCount,
+	}
+	switch env.Mode {
+	case "classify":
+	case "regress":
+		f.Target = env.Schema.AttrIndex(env.Target)
+		if f.Target < 0 {
+			return nil, fmt.Errorf("forest: regression target %q not in schema", env.Target)
+		}
+	default:
+		return nil, fmt.Errorf("forest: unknown mode %q", env.Mode)
+	}
+	for i, tj := range env.Trees {
+		if tj == nil {
+			return nil, fmt.Errorf("forest: tree %d is null", i)
+		}
+		root, err := tree.DecodeNodeJSON(tj, env.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		f.Trees = append(f.Trees, &tree.Tree{Root: root, Schema: env.Schema})
+	}
+	return f, nil
+}

@@ -1,0 +1,322 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cmpdt/internal/dataset"
+)
+
+// maskTable builds a small numeric table whose rows are identifiable by
+// their first attribute value (row i carries value i).
+func maskTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	schema := &dataset.Schema{
+		Attrs:   []dataset.Attribute{{Name: "id", Kind: dataset.Numeric}, {Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"a", "b"},
+	}
+	tbl, err := dataset.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tbl.Append([]float64{float64(i), float64(i % 7)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestBootstrapMaskPartition(t *testing.T) {
+	const n = 1000
+	for _, seed := range []int64{1, 2, 42} {
+		m := BootstrapMask(n, seed)
+		if m.NumSource() != n {
+			t.Fatalf("seed %d: NumSource = %d, want %d", seed, m.NumSource(), n)
+		}
+		// n draws with replacement: multiplicities sum to exactly n.
+		if m.Len() != n {
+			t.Fatalf("seed %d: Len = %d, want %d (bootstrap draws n records)", seed, m.Len(), n)
+		}
+		// In-bag and out-of-bag partition the record space.
+		inBag := 0
+		total := 0
+		for rid := 0; rid < n; rid++ {
+			if m.InBag(rid) != (m.Count(rid) > 0) {
+				t.Fatalf("seed %d: InBag(%d) disagrees with Count", seed, rid)
+			}
+			if m.InBag(rid) {
+				inBag++
+			}
+			total += m.Count(rid)
+		}
+		if inBag+m.OutOfBag() != n {
+			t.Fatalf("seed %d: in-bag %d + OOB %d != %d", seed, inBag, m.OutOfBag(), n)
+		}
+		if total != n {
+			t.Fatalf("seed %d: multiplicities sum to %d, want %d", seed, total, n)
+		}
+		// Roughly 1/e of the records should be out of bag.
+		frac := float64(m.OutOfBag()) / float64(n)
+		if frac < 0.25 || frac > 0.5 {
+			t.Errorf("seed %d: OOB fraction %.3f outside [0.25, 0.5]", seed, frac)
+		}
+		// Determinism: the same seed reproduces the identical mask.
+		again := BootstrapMask(n, seed)
+		if !reflect.DeepEqual(m.counts, again.counts) {
+			t.Fatalf("seed %d: mask not reproducible", seed)
+		}
+	}
+	// Distinct seeds draw distinct samples.
+	if reflect.DeepEqual(BootstrapMask(n, 1).counts, BootstrapMask(n, 2).counts) {
+		t.Fatal("seeds 1 and 2 produced identical masks")
+	}
+}
+
+// TestMaskedScanEquivalence pins the virtual view: a full scan delivers
+// record u exactly Count(u) times, contiguously, in storage order, with
+// dense virtual rids.
+func TestMaskedScanEquivalence(t *testing.T) {
+	const n = 257
+	tbl := maskTable(t, n)
+	mask := BootstrapMask(n, 7)
+	mv, err := NewMasked(NewMem(tbl), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.NumRecords() != mask.Len() {
+		t.Fatalf("NumRecords = %d, want %d", mv.NumRecords(), mask.Len())
+	}
+	var got []int
+	next := 0
+	if err := mv.Scan(func(rid int, vals []float64, label int) error {
+		if rid != next {
+			t.Fatalf("virtual rid %d, want dense %d", rid, next)
+		}
+		next++
+		got = append(got, int(vals[0]))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for u := 0; u < n; u++ {
+		for k := 0; k < mask.Count(u); k++ {
+			want = append(want, u)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("masked scan did not deliver each record by its multiplicity in order")
+	}
+}
+
+// TestMaskedScanRangePartition verifies that any partition of the virtual
+// range delivers exactly the records of a full scan, and that logical I/O
+// accounting is identical however the range is partitioned.
+func TestMaskedScanRangePartition(t *testing.T) {
+	const n = 300
+	tbl := maskTable(t, n)
+	mask := BootstrapMask(n, 3)
+	full, err := NewMasked(NewMem(tbl), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole []int
+	if err := full.Scan(func(rid int, vals []float64, label int) error {
+		whole = append(whole, int(vals[0]))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fullStats := full.Stats()
+
+	for _, parts := range []int{2, 3, 8, 17} {
+		mv, err := NewMasked(NewMem(tbl), mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mask.Len()
+		var got []int
+		var agg Stats
+		for p := 0; p < parts; p++ {
+			lo, hi := p*m/parts, (p+1)*m/parts
+			var s Stats
+			if err := mv.ScanRange(lo, hi, &s, func(rid int, vals []float64, label int) error {
+				if rid < lo || rid >= hi {
+					t.Fatalf("rid %d outside [%d,%d)", rid, lo, hi)
+				}
+				got = append(got, int(vals[0]))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			agg.Add(s)
+		}
+		if !reflect.DeepEqual(got, whole) {
+			t.Fatalf("%d-way partition delivered different records than a full scan", parts)
+		}
+		if agg.RecordsRead != fullStats.RecordsRead || agg.BytesRead != fullStats.BytesRead {
+			t.Fatalf("%d-way partition logical I/O %+v != full scan %+v", parts, agg, fullStats)
+		}
+	}
+}
+
+// TestMaskedParallelScan runs the stock ParallelScan machinery over a
+// masked view and checks both delivery and the merged accounting.
+func TestMaskedParallelScan(t *testing.T) {
+	const n = 500
+	tbl := maskTable(t, n)
+	mask := BootstrapMask(n, 11)
+
+	counts := func(workers int) ([]int64, Stats) {
+		mv, err := NewMasked(NewMem(tbl), mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRecord := make([]int64, n)
+		// Per-worker tallies, merged after the pass: no synchronization
+		// needed inside the scan callback.
+		shard := make([][]int64, workers)
+		for w := range shard {
+			shard[w] = make([]int64, n)
+		}
+		if err := ParallelScan(context.Background(), mv, workers, func(w, rid int, vals []float64, label int) error {
+			shard[w][int(vals[0])]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range shard {
+			for i, c := range s {
+				perRecord[i] += c
+			}
+		}
+		return perRecord, mv.Stats()
+	}
+
+	base, baseStats := counts(1)
+	for u := 0; u < n; u++ {
+		if base[u] != int64(mask.Count(u)) {
+			t.Fatalf("record %d delivered %d times, want %d", u, base[u], mask.Count(u))
+		}
+	}
+	for _, w := range []int{2, 8} {
+		got, stats := counts(w)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d delivered different multiplicities", w)
+		}
+		if stats != baseStats {
+			t.Fatalf("workers=%d stats %+v != serial %+v", w, stats, baseStats)
+		}
+	}
+	if baseStats.Scans != 1 || baseStats.RecordsRead != int64(mask.Len()) {
+		t.Fatalf("unexpected stats %+v", baseStats)
+	}
+}
+
+func TestMaskedScanErrorAborts(t *testing.T) {
+	const n = 100
+	tbl := maskTable(t, n)
+	mv, err := NewMasked(NewMem(tbl), FullMask(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	seen := 0
+	err = mv.Scan(func(rid int, vals []float64, label int) error {
+		seen++
+		if rid == 41 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	st := mv.Stats()
+	if st.Scans != 0 {
+		t.Fatalf("aborted scan counted as complete: %+v", st)
+	}
+	if st.RecordsRead != int64(seen) {
+		t.Fatalf("RecordsRead %d != delivered %d", st.RecordsRead, seen)
+	}
+}
+
+func TestNewMaskedSizeMismatch(t *testing.T) {
+	tbl := maskTable(t, 10)
+	if _, err := NewMasked(NewMem(tbl), FullMask(11)); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+}
+
+// TestFullMaskIdentity pins that the identity mask is record-for-record
+// equivalent to scanning the source directly.
+func TestFullMaskIdentity(t *testing.T) {
+	const n = 64
+	tbl := maskTable(t, n)
+	mv, err := NewMasked(NewMem(tbl), FullMask(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if err := mv.Scan(func(rid int, vals []float64, label int) error {
+		if rid != i || int(vals[0]) != i {
+			t.Fatalf("rid %d vals[0] %g, want %d", rid, vals[0], i)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("delivered %d records, want %d", i, n)
+	}
+}
+
+func TestMaskRecordOf(t *testing.T) {
+	m := NewMask([]uint32{2, 0, 3, 0, 0, 1})
+	if m.Len() != 6 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	wants := []int{0, 0, 2, 2, 2, 5}
+	for v, want := range wants {
+		if got := m.recordOf(int64(v)); got != want {
+			t.Fatalf("recordOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkMaskedScan(b *testing.B) {
+	schema := &dataset.Schema{
+		Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"a", "b"},
+	}
+	tbl, _ := dataset.New(schema)
+	rng := rand.New(rand.NewSource(1))
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if err := tbl.Append([]float64{rng.Float64()}, i%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mv, err := NewMasked(NewMem(tbl), BootstrapMask(n, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := 0.0
+		if err := mv.Scan(func(rid int, vals []float64, label int) error {
+			sink += vals[0]
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if sink == -1 {
+			b.Fatal("impossible")
+		}
+	}
+}

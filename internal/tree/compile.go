@@ -24,25 +24,31 @@ type Compiled struct {
 	// Schema is the schema the tree was trained with.
 	Schema *dataset.Schema
 
-	// Per-node arrays, indexed by node id; node 0 is the root. kind holds
-	// an opcode (see below), not a raw SplitKind: numeric splits compile to
-	// one of two opcodes according to their missing-value direction, so the
-	// hot numeric case needs neither a NaN branch nor a missLeft load.
-	kind     []uint8
-	missLeft []bool // missing values route to the left child (cat/linear)
-	attr     []int32
-	attrY    []int32   // SplitLinear second attribute
-	thr      []float64 // SplitNumeric threshold; SplitLinear C
-	coefA    []float64 // SplitLinear A
-	coefB    []float64 // SplitLinear B
-	subset   []uint64  // SplitCategorical bitmask
-	left     []int32   // left child id; the right child is left+1
-	class    []int32   // majority class (the prediction at leaves)
+	flat
 
 	// batchObs, when non-nil, records each batch call's wall latency (see
 	// SetBatchObserver). Predict itself is never instrumented: the
 	// single-record hot path stays allocation- and branch-free.
 	batchObs *obs.Histogram
+}
+
+// flat is the contiguous struct-of-arrays node pool shared by Compiled (one
+// tree rooted at node 0) and CompiledForest (many trees appended into one
+// pool, each rooted at its own id). kind holds an opcode (see below), not a
+// raw SplitKind: numeric splits compile to one of two opcodes according to
+// their missing-value direction, so the hot numeric case needs neither a
+// NaN branch nor a missLeft load.
+type flat struct {
+	kind     []uint8
+	missLeft []bool // missing values route to the left child (cat/linear)
+	attr     []int32
+	attrY    []int32   // SplitLinear second attribute
+	thr      []float64 // SplitNumeric threshold; SplitLinear C; leaf Value
+	coefA    []float64 // SplitLinear A
+	coefB    []float64 // SplitLinear B
+	subset   []uint64  // SplitCategorical bitmask
+	left     []int32   // left child id; the right child is left+1
+	class    []int32   // majority class (the prediction at leaves)
 }
 
 // Compiled opcodes. Numeric splits pick the comparison whose false branch
@@ -64,86 +70,105 @@ func Compile(t *Tree) *Compiled {
 	if t == nil || t.Root == nil {
 		panic("tree: Compile of nil tree")
 	}
-	n := t.Size()
-	c := &Compiled{
-		Schema:   t.Schema,
-		kind:     make([]uint8, n),
-		missLeft: make([]bool, n),
-		attr:     make([]int32, n),
-		attrY:    make([]int32, n),
-		thr:      make([]float64, n),
-		coefA:    make([]float64, n),
-		coefB:    make([]float64, n),
-		subset:   make([]uint64, n),
-		left:     make([]int32, n),
-		class:    make([]int32, n),
-	}
-	// Breadth-first assignment keeps sibling pairs adjacent and places the
-	// top of the tree — the slots every prediction visits — at the front of
-	// every array.
+	c := &Compiled{Schema: t.Schema}
+	c.appendTree(t, nil)
+	return c
+}
+
+// grow extends every per-node array by n zeroed slots.
+func (f *flat) grow(n int) {
+	f.kind = append(f.kind, make([]uint8, n)...)
+	f.missLeft = append(f.missLeft, make([]bool, n)...)
+	f.attr = append(f.attr, make([]int32, n)...)
+	f.attrY = append(f.attrY, make([]int32, n)...)
+	f.thr = append(f.thr, make([]float64, n)...)
+	f.coefA = append(f.coefA, make([]float64, n)...)
+	f.coefB = append(f.coefB, make([]float64, n)...)
+	f.subset = append(f.subset, make([]uint64, n)...)
+	f.left = append(f.left, make([]int32, n)...)
+	f.class = append(f.class, make([]int32, n)...)
+}
+
+// appendTree lays t's nodes out at the tail of the pool and returns the
+// root's node id. Breadth-first assignment keeps sibling pairs adjacent and
+// places the top of the tree — the slots every prediction visits — at the
+// front of its range. onNode, when non-nil, is called once per node with
+// its assigned id (forest compilation uses it to fill side arrays such as
+// leaf class distributions).
+func (f *flat) appendTree(t *Tree, onNode func(id int32, nd *Node)) int32 {
+	base := int32(len(f.kind))
+	size := t.Size()
+	f.grow(size)
 	type slot struct {
 		n  *Node
 		id int32
 	}
-	queue := make([]slot, 1, n)
-	queue[0] = slot{t.Root, 0}
-	next := int32(1)
+	queue := make([]slot, 1, size)
+	queue[0] = slot{t.Root, base}
+	next := base + 1
 	for head := 0; head < len(queue); head++ {
 		nd, id := queue[head].n, queue[head].id
-		c.class[id] = int32(nd.Class)
+		if onNode != nil {
+			onNode(id, nd)
+		}
+		f.class[id] = int32(nd.Class)
 		if nd.IsLeaf() {
-			c.kind[id] = opLeaf
-			c.left[id] = -1
+			f.kind[id] = opLeaf
+			f.left[id] = -1
+			// A regression leaf's prediction rides the otherwise unused
+			// threshold slot; classification leaves store their zero Value.
+			f.thr[id] = nd.Value
 			continue
 		}
 		s := nd.Split
 		missLeft := nd.Left.N >= nd.Right.N
-		c.missLeft[id] = missLeft
+		f.missLeft[id] = missLeft
 		switch s.Kind {
 		case SplitNumeric:
 			if missLeft {
-				c.kind[id] = opNumMissLeft
+				f.kind[id] = opNumMissLeft
 			} else {
-				c.kind[id] = opNumMissRight
+				f.kind[id] = opNumMissRight
 			}
-			c.attr[id] = int32(s.Attr)
-			c.thr[id] = s.Threshold
+			f.attr[id] = int32(s.Attr)
+			f.thr[id] = s.Threshold
 		case SplitCategorical:
-			c.kind[id] = opCategorical
-			c.attr[id] = int32(s.Attr)
-			c.subset[id] = s.Subset
+			f.kind[id] = opCategorical
+			f.attr[id] = int32(s.Attr)
+			f.subset[id] = s.Subset
 		case SplitLinear:
-			c.kind[id] = opLinear
-			c.attr[id] = int32(s.AttrX)
-			c.attrY[id] = int32(s.AttrY)
-			c.coefA[id] = s.A
-			c.coefB[id] = s.B
-			c.thr[id] = s.C
+			f.kind[id] = opLinear
+			f.attr[id] = int32(s.AttrX)
+			f.attrY[id] = int32(s.AttrY)
+			f.coefA[id] = s.A
+			f.coefB[id] = s.B
+			f.thr[id] = s.C
 		default:
 			panic(fmt.Sprintf("tree: Compile: unknown split kind %d", s.Kind))
 		}
-		c.left[id] = next
+		f.left[id] = next
 		queue = append(queue, slot{nd.Left, next}, slot{nd.Right, next + 1})
 		next += 2
 	}
-	return c
+	return base
 }
 
-// Len returns the number of nodes.
-func (c *Compiled) Len() int { return len(c.kind) }
+// Len returns the number of nodes in the pool.
+func (f *flat) Len() int { return len(f.kind) }
 
-// Predict classifies one record, bit-identically to Tree.Predict: a NaN
-// attribute value — or a categorical value outside [0,64) — routes to the
-// child that saw more training records.
-func (c *Compiled) Predict(vals []float64) int {
+// walkFrom routes one record from the tree rooted at node id root to a
+// leaf and returns the leaf's id, applying the same missing-value routing
+// as Tree.Predict: a NaN attribute value — or a categorical value outside
+// [0,64) — goes to the child that saw more training records.
+func (f *flat) walkFrom(root int32, vals []float64) int32 {
 	// Reslicing every array to one shared length lets the compiler prove
 	// the single bounds check on kind[i] covers them all.
-	kind := c.kind
+	kind := f.kind
 	n := len(kind)
-	left := c.left[:n]
-	attr := c.attr[:n]
-	thr := c.thr[:n]
-	i := 0
+	left := f.left[:n]
+	attr := f.attr[:n]
+	thr := f.thr[:n]
+	i := int(root)
 	for {
 		switch kind[i] {
 		case opNumMissRight: // v <= thr goes left; NaN compares false -> right
@@ -159,30 +184,37 @@ func (c *Compiled) Predict(vals []float64) int {
 			}
 			i = l
 		case opLeaf:
-			return int(c.class[i])
+			return int32(i)
 		case opCategorical:
 			l := int(left[i])
 			if v := vals[attr[i]]; v >= 0 && v < 64 { // excludes NaN
-				if c.subset[i]&(1<<uint(int(v))) == 0 {
+				if f.subset[i]&(1<<uint(int(v))) == 0 {
 					l++
 				}
-			} else if !c.missLeft[i] {
+			} else if !f.missLeft[i] {
 				l++
 			}
 			i = l
 		default: // opLinear
 			l := int(left[i])
-			x, y := vals[attr[i]], vals[c.attrY[i]]
+			x, y := vals[attr[i]], vals[f.attrY[i]]
 			if x == x && y == y { // neither NaN
-				if c.coefA[i]*x+c.coefB[i]*y > thr[i] {
+				if f.coefA[i]*x+f.coefB[i]*y > thr[i] {
 					l++
 				}
-			} else if !c.missLeft[i] {
+			} else if !f.missLeft[i] {
 				l++
 			}
 			i = l
 		}
 	}
+}
+
+// Predict classifies one record, bit-identically to Tree.Predict: a NaN
+// attribute value — or a categorical value outside [0,64) — routes to the
+// child that saw more training records.
+func (c *Compiled) Predict(vals []float64) int {
+	return int(c.class[c.walkFrom(0, vals)])
 }
 
 // SetBatchObserver attaches a latency histogram: every subsequent

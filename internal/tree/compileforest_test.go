@@ -1,0 +1,197 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomForest grows n random trees over one shared schema.
+func randomForest(rng *rand.Rand, n int) []*Tree {
+	schema := compileTestSchema()
+	trees := make([]*Tree, n)
+	for i := range trees {
+		trees[i] = randomTree(rng, schema, 2+rng.Intn(5), 0.2)
+	}
+	return trees
+}
+
+// TestCompileForestVoteEquivalence: the compiled forest's majority vote
+// must equal a vote tallied over the pointer trees' individual
+// predictions, including on hostile records.
+func TestCompileForestVoteEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trees := randomForest(rng, 9)
+	cf := CompileForest(trees, false)
+	nc := cf.Schema.NumClasses()
+	for rec := 0; rec < 2000; rec++ {
+		vals := randomRecord(rng, cf.Schema, 0.15)
+		votes := make([]int, nc)
+		for _, tr := range trees {
+			votes[tr.Predict(vals)]++
+		}
+		want := 0
+		for c := 1; c < nc; c++ {
+			if votes[c] > votes[want] {
+				want = c
+			}
+		}
+		if got := cf.Predict(vals); got != want {
+			t.Fatalf("record %d: forest vote %d, pointer vote %d (votes %v)", rec, got, want, votes)
+		}
+	}
+}
+
+// TestCompileForestProb: averaged probabilities must sum to ~1, and the
+// returned class must be their argmax with ties to the lowest id.
+func TestCompileForestProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	trees := randomForest(rng, 7)
+	cf := CompileForest(trees, false)
+	nc := cf.Schema.NumClasses()
+	probs := make([]float64, nc)
+	for rec := 0; rec < 500; rec++ {
+		vals := randomRecord(rng, cf.Schema, 0.1)
+		got := cf.PredictProb(vals, probs)
+		sum := 0.0
+		best := 0
+		for c, p := range probs {
+			sum += p
+			if p > probs[best] {
+				best = c
+			}
+		}
+		// Leaf distributions are float32-normalized, so the sum carries a
+		// few ulps of float32 rounding.
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("record %d: probabilities sum to %g", rec, sum)
+		}
+		if got != best {
+			t.Fatalf("record %d: returned class %d, argmax %d", rec, got, best)
+		}
+	}
+}
+
+// TestCompileForestSingleTree: a one-tree forest must agree exactly with
+// the compiled single tree.
+func TestCompileForestSingleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := randomTree(rng, compileTestSchema(), 6, 0.2)
+	c := Compile(tr)
+	cf := CompileForest([]*Tree{tr}, false)
+	for rec := 0; rec < 2000; rec++ {
+		vals := randomRecord(rng, tr.Schema, 0.15)
+		if c.Predict(vals) != cf.Predict(vals) {
+			t.Fatalf("record %d: single tree and 1-tree forest disagree", rec)
+		}
+	}
+}
+
+// TestCompileForestBatchDeterminism: sharded batch prediction must be
+// identical at every worker count.
+func TestCompileForestBatchDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	trees := randomForest(rng, 8)
+	cf := CompileForest(trees, false)
+	records := make([][]float64, 3000)
+	for i := range records {
+		records[i] = randomRecord(rng, cf.Schema, 0.1)
+	}
+	want := make([]int, len(records))
+	cf.PredictBatch(want, records)
+	for _, w := range []int{1, 2, 3, 8, 0} {
+		got := make([]int, len(records))
+		cf.PredictBatchWorkers(got, records, w)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: record %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestCompileForestRegression: a regression forest must average the
+// member trees' leaf values exactly (same summation order as the
+// reference loop).
+func TestCompileForestRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	schema := compileTestSchema()
+	trees := make([]*Tree, 5)
+	for i := range trees {
+		trees[i] = randomTree(rng, schema, 4, 0.25)
+		trees[i].Walk(func(n *Node, _ int) {
+			if n.IsLeaf() {
+				n.Value = rng.NormFloat64() * 100
+			}
+		})
+	}
+	cf := CompileForest(trees, true)
+	if !cf.Regression() {
+		t.Fatal("regression flag lost")
+	}
+	for rec := 0; rec < 1000; rec++ {
+		vals := randomRecord(rng, schema, 0.1)
+		sum := 0.0
+		for _, tr := range trees {
+			sum += tr.PredictValue(vals)
+		}
+		want := sum / float64(len(trees))
+		if got := cf.PredictValue(vals); got != want {
+			t.Fatalf("record %d: forest value %g, pointer mean %g", rec, got, want)
+		}
+	}
+	dst := make([]float64, 100)
+	records := make([][]float64, 100)
+	for i := range records {
+		records[i] = randomRecord(rng, schema, 0.1)
+	}
+	cf.PredictValueBatchWorkers(dst, records, 4)
+	for i, r := range records {
+		if dst[i] != cf.PredictValue(r) {
+			t.Fatalf("batch value %d differs from single-record path", i)
+		}
+	}
+}
+
+// TestNodeValueJSONRoundTrip: regression leaf values survive the JSON
+// model encoding.
+func TestNodeValueJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := randomTree(rng, compileTestSchema(), 4, 0.3)
+	tr.Walk(func(n *Node, _ int) {
+		if n.IsLeaf() {
+			n.Value = rng.NormFloat64()
+		}
+	})
+	j := EncodeNodeJSON(tr.Root)
+	back, err := DecodeNodeJSON(j, tr.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &Tree{Root: back, Schema: tr.Schema}
+	for rec := 0; rec < 500; rec++ {
+		vals := randomRecord(rng, tr.Schema, 0.1)
+		if tr.PredictValue(vals) != rt.PredictValue(vals) {
+			t.Fatalf("record %d: round-tripped value differs", rec)
+		}
+	}
+}
+
+// TestCompileForestPredictZeroAlloc: the voting hot path must not
+// allocate for schemas within the stack-scratch class bound.
+func TestCompileForestPredictZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trees := randomForest(rng, 6)
+	cf := CompileForest(trees, false)
+	records := make([][]float64, 64)
+	for i := range records {
+		records[i] = randomRecord(rng, cf.Schema, 0)
+	}
+	dst := make([]int, len(records))
+	allocs := testing.AllocsPerRun(20, func() {
+		cf.PredictBatch(dst, records)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictBatch allocates %.1f per batch", allocs)
+	}
+}

@@ -23,14 +23,29 @@ type modelEnvelope struct {
 
 type nodeJSON struct {
 	// Leaf fields.
-	Class       int   `json:"class"`
-	N           int   `json:"n,omitempty"`
-	ClassCounts []int `json:"counts,omitempty"`
+	Class       int     `json:"class"`
+	N           int     `json:"n,omitempty"`
+	ClassCounts []int   `json:"counts,omitempty"`
+	Value       float64 `json:"value,omitempty"` // regression prediction
 
 	// Split fields (internal nodes only).
 	Split *splitJSON `json:"split,omitempty"`
 	Left  *nodeJSON  `json:"left,omitempty"`
 	Right *nodeJSON  `json:"right,omitempty"`
+}
+
+// NodeJSON is the serialized node structure, exported so ensemble encoders
+// can embed per-tree node graphs inside their own envelopes while sharing
+// this package's validation.
+type NodeJSON = nodeJSON
+
+// EncodeNodeJSON converts a node graph into its serialized form.
+func EncodeNodeJSON(n *Node) *NodeJSON { return encodeNode(n) }
+
+// DecodeNodeJSON reconstructs a node graph from its serialized form,
+// validating every split against the schema.
+func DecodeNodeJSON(n *NodeJSON, schema *dataset.Schema) (*Node, error) {
+	return decodeNode(n, schema)
 }
 
 type splitJSON struct {
@@ -92,6 +107,7 @@ func encodeNode(n *Node) *nodeJSON {
 		Class:       n.Class,
 		N:           n.N,
 		ClassCounts: n.ClassCounts,
+		Value:       n.Value,
 	}
 	if !n.IsLeaf() {
 		out.Split = &splitJSON{
@@ -142,7 +158,7 @@ func ReadJSON(r io.Reader) (*Tree, error) {
 }
 
 func decodeNode(n *nodeJSON, schema *dataset.Schema) (*Node, error) {
-	out := &Node{Class: n.Class, N: n.N, ClassCounts: n.ClassCounts}
+	out := &Node{Class: n.Class, N: n.N, ClassCounts: n.ClassCounts, Value: n.Value}
 	if n.Class < 0 || n.Class >= schema.NumClasses() {
 		return nil, fmt.Errorf("tree: node class %d out of range", n.Class)
 	}

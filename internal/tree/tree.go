@@ -121,6 +121,10 @@ type Node struct {
 	ClassCounts []int
 	// Gini is the gini index of the node's training records.
 	Gini float64
+	// Value is the node's numeric prediction in a regression tree (the
+	// mean training target of the records that reached it). Classification
+	// trees leave it zero.
+	Value float64
 }
 
 // IsLeaf reports whether the node has no split.
@@ -171,6 +175,18 @@ type Tree struct {
 // fallback. For batch or hot-loop classification, Compile the tree and use
 // Compiled.Predict, which is bit-identical and considerably faster.
 func (t *Tree) Predict(vals []float64) int {
+	return t.leafOf(vals).Class
+}
+
+// PredictValue predicts one record's numeric target with a regression
+// tree: the identical routing as Predict, returning the leaf's Value.
+func (t *Tree) PredictValue(vals []float64) float64 {
+	return t.leafOf(vals).Value
+}
+
+// leafOf routes one record to its leaf, applying the majority-direction
+// fallback on missing values.
+func (t *Tree) leafOf(vals []float64) *Node {
 	n := t.Root
 	for !n.IsLeaf() {
 		if splitValueMissing(n.Split, vals) {
@@ -187,7 +203,7 @@ func (t *Tree) Predict(vals []float64) int {
 			n = n.Right
 		}
 	}
-	return n.Class
+	return n
 }
 
 // splitValueMissing reports whether the attribute(s) a split tests are
