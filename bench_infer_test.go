@@ -5,7 +5,7 @@
 //
 // make bench-infer regenerates BENCH_infer.json, the machine-readable
 // baseline for these numbers, via cmd/cmpbench -exp infer.
-package cmpdt
+package cmpdt_test
 
 import (
 	"fmt"

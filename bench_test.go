@@ -5,7 +5,7 @@
 //
 // Sizes are laptop-scale; the shapes (who wins, by what factor) are what is
 // being reproduced — cmd/cmpbench -full runs the paper's record counts.
-package cmpdt
+package cmpdt_test
 
 import (
 	"fmt"

@@ -21,16 +21,18 @@ import (
 	"runtime"
 	"strings"
 
+	"cmpdt/internal/cli"
 	"cmpdt/internal/experiments"
 	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 	"cmpdt/internal/synth"
 )
 
-var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest"}
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest", "serve"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	full := flag.Bool("full", false, "paper-scale record counts (200k-2.5M; slow)")
 	disk := flag.Bool("disk", false, "train from on-disk record stores")
 	dir := flag.String("dir", "", "directory for -disk dataset files (default: OS temp dir)")
@@ -45,6 +47,11 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", `write the aggregate observability report as JSON to this path ("-" for stderr)`)
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
+
+	// Long sweeps honour Ctrl-C and -timeout between experiments: the
+	// current experiment finishes, the rest are abandoned.
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	opts := experiments.Defaults()
 	if *full {
@@ -218,6 +225,25 @@ func main() {
 				return f.Close()
 			}
 			return nil
+		case "serve":
+			res, err := opts.ServeBench()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Serve: cmpserve pipeline throughput, latency, and load shedding ==")
+			experiments.PrintServeBench(os.Stdout, res)
+			if *inferJSON != "" {
+				f, err := os.Create(*inferJSON)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteServeJSON(f, res); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+			return nil
 		case "curve":
 			rows, err := opts.LearningCurve(synth.F7)
 			if err != nil {
@@ -236,9 +262,13 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			stop()
+			cli.Fatal("cmpbench", fmt.Errorf("aborted before %q: %w", name, err))
+		}
 		if err := run(strings.TrimSpace(name)); err != nil {
-			fmt.Fprintln(os.Stderr, "cmpbench:", err)
-			os.Exit(1)
+			stop()
+			cli.Fatal("cmpbench", err)
 		}
 		fmt.Println()
 	}

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -36,10 +37,15 @@ import (
 	"time"
 
 	"cmpdt"
+	"cmpdt/internal/cli"
 	"cmpdt/internal/eval"
 	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
 )
+
+// ctxCheckEvery bounds how many records are classified between context
+// checks, so Ctrl-C or -timeout stops a bulk run within a bounded slice.
+const ctxCheckEvery = 1024
 
 func main() {
 	model := flag.String("model", "", "path to a saved tree model (required)")
@@ -47,31 +53,35 @@ func main() {
 	cache := flag.String("cache", "0", `page-cache capacity for -data stores, e.g. "64m" ("0" = uncached)`)
 	batch := flag.Int("batch", 0, "records per prediction batch (0 = classify one record at a time)")
 	workers := flag.Int("workers", 0, "prediction goroutines per batch (0 = GOMAXPROCS; needs -batch)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	metricsJSON := flag.String("metrics-json", "", `write classification metrics as JSON to this path ("-" for stderr; stdout carries predictions)`)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
 	cacheBytes, err := storage.ParseCacheSize(*cache)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmpclassify:", err)
-		os.Exit(1)
+		cli.Fatal("cmpclassify", err)
 	}
 	if *data != "" {
-		err = runStore(*model, *data, cacheBytes, *metricsJSON, os.Stdout)
+		err = runStore(ctx, *model, *data, cacheBytes, *metricsJSON, os.Stdout)
 	} else {
 		if cacheBytes > 0 {
 			err = fmt.Errorf("-cache requires -data (CSV input has no page structure)")
 		} else {
-			err = run(*model, *batch, *workers, *metricsJSON, os.Stdin, os.Stdout)
+			err = run(ctx, *model, *batch, *workers, *metricsJSON, os.Stdin, os.Stdout)
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmpclassify:", err)
-		os.Exit(1)
+		stop()
+		cli.Fatal("cmpclassify", err)
 	}
 }
 
 // runStore classifies every record of a binary store through the compiled
 // tree, writing the store's columns plus the prediction as CSV.
-func runStore(modelPath, dataPath string, cacheBytes int64, metricsJSON string, out io.Writer) error {
+func runStore(ctx context.Context, modelPath, dataPath string, cacheBytes int64, metricsJSON string, out io.Writer) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -109,6 +119,11 @@ func runStore(modelPath, dataPath string, cacheBytes int64, metricsJSON string, 
 	var total, correct int
 	row := make([]string, len(header))
 	err = f.Scan(func(rid int, vals []float64, label int) error {
+		if total%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for i, a := range schema.Attrs {
 			if a.Values != nil && int(vals[i]) >= 0 && int(vals[i]) < len(a.Values) && vals[i] == float64(int(vals[i])) {
 				row[i] = a.Values[int(vals[i])]
@@ -236,7 +251,7 @@ func (m *inputMap) parseInto(vals []float64, rec []string, line int) error {
 	return nil
 }
 
-func run(modelPath string, batch, workers int, metricsJSON string, in io.Reader, out io.Writer) error {
+func run(ctx context.Context, modelPath string, batch, workers int, metricsJSON string, in io.Reader, out io.Writer) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -273,9 +288,9 @@ func run(modelPath string, batch, workers int, metricsJSON string, in io.Reader,
 
 	var total, correct int
 	if batch > 0 {
-		total, correct, err = classifyBatched(model, im, cr, cw, batch, workers, reg)
+		total, correct, err = classifyBatched(ctx, model, im, cr, cw, batch, workers, reg)
 	} else {
-		total, correct, err = classifySerial(model, im, cr, cw, reg)
+		total, correct, err = classifySerial(ctx, model, im, cr, cw, reg)
 	}
 	if err != nil {
 		return err
@@ -318,10 +333,15 @@ func writeMetrics(path string, rep *obs.Report) error {
 }
 
 // classifySerial is the record-at-a-time path.
-func classifySerial(model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv.Writer, reg *obs.Registry) (total, correct int, err error) {
+func classifySerial(ctx context.Context, model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv.Writer, reg *obs.Registry) (total, correct int, err error) {
 	records := reg.Counter("records")
 	vals := make([]float64, len(im.schema.Attrs))
 	for line := 2; ; line++ {
+		if line%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return total, correct, nil
@@ -350,7 +370,7 @@ func classifySerial(model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv
 // compiled batch path. One flat values buffer backs every record slot, so
 // the steady state allocates only the raw CSV rows the encoding/csv reader
 // produces.
-func classifyBatched(model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv.Writer, batch, workers int, reg *obs.Registry) (total, correct int, err error) {
+func classifyBatched(ctx context.Context, model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *csv.Writer, batch, workers int, reg *obs.Registry) (total, correct int, err error) {
 	records := reg.Counter("records")
 	batches := reg.Counter("batches")
 	batchNs := reg.Histogram("batch_predict_ns", obs.DefaultLatencyBounds)
@@ -368,6 +388,9 @@ func classifyBatched(model cmpdt.Predictor, im *inputMap, cr *csv.Reader, cw *cs
 	flush := func() error {
 		if len(rows) == 0 {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		predictStart := time.Now()
 		model.PredictBatchWorkers(preds[:len(rows)], vals[:len(rows)], workers)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -48,7 +49,7 @@ func TestClassifyRun(t *testing.T) {
 	model, _ := trainedModel(t)
 	in := strings.NewReader("x,kind,class\n10,a,lo\n90,b,hi\n30,a,hi\n")
 	var out bytes.Buffer
-	if err := run(model, 0, 0, "", in, &out); err != nil {
+	if err := run(context.Background(), model, 0, 0, "", in, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -68,7 +69,7 @@ func TestClassifyColumnMapping(t *testing.T) {
 	// Columns in a different order, with an extra one; no class column.
 	in := strings.NewReader("extra,kind,x\nfoo,b,95\n")
 	var out bytes.Buffer
-	if err := run(model, 0, 0, "", in, &out); err != nil {
+	if err := run(context.Background(), model, 0, 0, "", in, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "foo,b,95,hi") {
@@ -92,12 +93,12 @@ func TestClassifyBatchMatchesSerial(t *testing.T) {
 		fmt.Fprintf(&in, "%.3f,%s,lo\n", rng.Float64()*100, kind)
 	}
 	var serial bytes.Buffer
-	if err := run(model, 0, 0, "", strings.NewReader(in.String()), &serial); err != nil {
+	if err := run(context.Background(), model, 0, 0, "", strings.NewReader(in.String()), &serial); err != nil {
 		t.Fatal(err)
 	}
 	for _, cfg := range []struct{ batch, workers int }{{7, 1}, {7, 3}, {1, 2}, {1000, 8}} {
 		var batched bytes.Buffer
-		if err := run(model, cfg.batch, cfg.workers, "", strings.NewReader(in.String()), &batched); err != nil {
+		if err := run(context.Background(), model, cfg.batch, cfg.workers, "", strings.NewReader(in.String()), &batched); err != nil {
 			t.Fatalf("batch=%d workers=%d: %v", cfg.batch, cfg.workers, err)
 		}
 		if batched.String() != serial.String() {
@@ -108,10 +109,10 @@ func TestClassifyBatchMatchesSerial(t *testing.T) {
 
 func TestClassifyBatchErrors(t *testing.T) {
 	model, _ := trainedModel(t)
-	if err := run(model, 5, 2, "", strings.NewReader("x,kind\n10,zebra\n"), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), model, 5, 2, "", strings.NewReader("x,kind\n10,zebra\n"), &bytes.Buffer{}); err == nil {
 		t.Error("batch mode accepted unknown category")
 	}
-	if err := run(model, -1, 0, "", strings.NewReader("x,kind\n"), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), model, -1, 0, "", strings.NewReader("x,kind\n"), &bytes.Buffer{}); err == nil {
 		t.Error("negative -batch accepted")
 	}
 }
@@ -125,11 +126,11 @@ func TestClassifyErrors(t *testing.T) {
 	}
 	for i, in := range cases {
 		var out bytes.Buffer
-		if err := run(model, 0, 0, "", strings.NewReader(in), &out); err == nil {
+		if err := run(context.Background(), model, 0, 0, "", strings.NewReader(in), &out); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, 0, "", strings.NewReader("x\n"), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.json"), 0, 0, "", strings.NewReader("x\n"), &bytes.Buffer{}); err == nil {
 		t.Error("missing model accepted")
 	}
 }

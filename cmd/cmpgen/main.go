@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"cmpdt/internal/cli"
 	"cmpdt/internal/dataset"
 	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
@@ -31,13 +33,38 @@ func main() {
 	noise := flag.Float64("noise", 0, "label noise probability")
 	out := flag.String("out", "", "binary record store path (required unless -csv)")
 	csv := flag.Bool("csv", false, "write CSV to stdout instead of a binary store")
+	timeout := flag.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
 	metricsJSON := flag.String("metrics-json", "", `write generation metrics as JSON to this path ("-" for stderr)`)
 	flag.Parse()
 
-	if err := run(*fn, *statlog, *n, *seed, *noise, *out, *metricsJSON, *csv, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cmpgen:", err)
-		os.Exit(1)
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	if err := run(ctx, *fn, *statlog, *n, *seed, *noise, *out, *metricsJSON, *csv, os.Stdout); err != nil {
+		stop()
+		cli.Fatal("cmpgen", err)
 	}
+}
+
+// ctxAppender threads context cancellation into GenerateTo: generation
+// stops within ctxCheckEvery records of Ctrl-C or -timeout instead of
+// running a large -n to completion.
+type ctxAppender struct {
+	ctx context.Context
+	dst synth.Appender
+	n   int
+}
+
+const ctxCheckEvery = 1024
+
+func (a *ctxAppender) Append(vals []float64, label int) error {
+	if a.n%ctxCheckEvery == 0 {
+		if err := a.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	a.n++
+	return a.dst.Append(vals, label)
 }
 
 // writeGenMetrics emits a schema-complete observability report describing
@@ -69,7 +96,7 @@ func writeGenMetrics(path, workload string, records int, seed int64, out string,
 	return f.Close()
 }
 
-func run(fnName, statlog string, n int, seed int64, noise float64, out, metricsJSON string, csv bool, stdout io.Writer) error {
+func run(ctx context.Context, fnName, statlog string, n int, seed int64, noise float64, out, metricsJSON string, csv bool, stdout io.Writer) error {
 	start := time.Now()
 	if statlog != "" {
 		tbl, err := synth.Statlog(statlog, seed)
@@ -105,7 +132,7 @@ func run(fnName, statlog string, n int, seed int64, noise float64, out, metricsJ
 	}
 	if csv {
 		tbl := dataset.MustNew(synth.Schema())
-		if err := synth.GenerateTo(tbl, fn, n, seed, synth.Options{Noise: noise}); err != nil {
+		if err := synth.GenerateTo(&ctxAppender{ctx: ctx, dst: tbl}, fn, n, seed, synth.Options{Noise: noise}); err != nil {
 			return err
 		}
 		if err := tbl.WriteCSV(stdout); err != nil {
@@ -123,7 +150,7 @@ func run(fnName, statlog string, n int, seed int64, noise float64, out, metricsJ
 	if err != nil {
 		return err
 	}
-	if err := synth.GenerateTo(w, fn, n, seed, synth.Options{Noise: noise}); err != nil {
+	if err := synth.GenerateTo(&ctxAppender{ctx: ctx, dst: w}, fn, n, seed, synth.Options{Noise: noise}); err != nil {
 		w.Abort()
 		return err
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -11,7 +13,7 @@ import (
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("2", "", 50, 1, 0, "", "", true, &buf); err != nil {
+	if err := run(context.Background(), "2", "", 50, 1, 0, "", "", true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -25,7 +27,7 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunBinaryStore(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "f7.rec")
-	if err := run("7", "", 200, 3, 0, path, "", false, nil); err != nil {
+	if err := run(context.Background(), "7", "", 200, 3, 0, path, "", false, nil); err != nil {
 		t.Fatal(err)
 	}
 	f, err := storage.OpenFile(path)
@@ -39,7 +41,7 @@ func TestRunBinaryStore(t *testing.T) {
 
 func TestRunStatlog(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("", "segment", 0, 1, 0, "", "", true, &buf); err != nil {
+	if err := run(context.Background(), "", "segment", 0, 1, 0, "", "", true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Count(buf.String(), "\n")
@@ -49,13 +51,25 @@ func TestRunStatlog(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("99", "", 10, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), "99", "", 10, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
 		t.Error("bad function accepted")
 	}
-	if err := run("2", "", 10, 1, 0, "", "", false, nil); err == nil {
+	if err := run(context.Background(), "2", "", 10, 1, 0, "", "", false, nil); err == nil {
 		t.Error("missing -out accepted")
 	}
-	if err := run("", "nope", 0, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), "", "nope", 0, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
 		t.Error("bad statlog name accepted")
+	}
+}
+
+// TestRunCanceled: a cancelled context aborts generation instead of
+// completing the full -n.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, "2", "", 100_000, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
+		t.Fatal("cancelled generation should return an error")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cmpdt"
+)
+
+// testModelFile trains a small tree and writes it under dir.
+func testModelFile(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	ds, err := cmpdt.NewDataset(cmpdt.Schema{
+		Attrs:   []cmpdt.Attr{{Name: "x"}, {Name: "y"}},
+		Classes: []string{"neg", "pos"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		label := 0
+		if float64(i%20)+float64((i*7+int(seed))%17) > 14 {
+			label = 1
+		}
+		if err := ds.Append([]float64{float64(i % 20), float64((i*7 + int(seed)) % 17)}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMPS, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("model-%d.json", seed))
+	if err := tr.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func defaultOptions(model string) options {
+	return options{
+		model:          model,
+		addr:           "127.0.0.1:0",
+		queue:          256,
+		maxBatch:       256,
+		maxRecords:     16384,
+		requestTimeout: 5 * time.Second,
+		drain:          5 * time.Second,
+		retryAfter:     time.Second,
+	}
+}
+
+// startServer runs the daemon in a goroutine and returns its base URL and
+// the exit-code channel.
+func startServer(t *testing.T, ctx context.Context, o options) (string, <-chan int) {
+	t.Helper()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() { exit <- run(ctx, o, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, exit
+	case code := <-exit:
+		t.Fatalf("server exited %d before binding", code)
+		return "", nil
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+// TestGracefulDrain is the end-to-end shutdown proof: requests in flight
+// when the shutdown signal lands are answered, new requests are refused,
+// and the process function returns 0 within the drain budget.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit := startServer(t, ctx, defaultOptions(testModelFile(t, dir, 1)))
+	waitReady(t, base)
+
+	// Keep a steady stream of requests going, tolerating only clean
+	// outcomes: 200 while serving, 503 once draining, connection errors
+	// once the listener closed.
+	var wg sync.WaitGroup
+	bad := make(chan string, 64)
+	served := make(chan struct{}, 1024)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				resp, err := http.Post(base+"/predict", "application/json",
+					bytes.NewReader([]byte(`{"values":[3,9]}`)))
+				if err != nil {
+					return // listener closed after drain: done
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				switch code {
+				case http.StatusOK:
+					select {
+					case served <- struct{}{}:
+					default:
+					}
+				case http.StatusServiceUnavailable:
+					return // draining
+				default:
+					select {
+					case bad <- fmt.Sprintf("status %d", code):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	// Let traffic flow, then signal shutdown mid-stream.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit within the drain budget")
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Errorf("request failed dirty during drain: %s", msg)
+	}
+	if len(served) == 0 {
+		t.Fatal("no requests served before shutdown")
+	}
+}
+
+// TestInitialLoadFailureExits1: a corrupt model at startup is fatal (there
+// is no previous version to fail closed onto).
+func TestInitialLoadFailureExits1(t *testing.T) {
+	dir := t.TempDir()
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() { exit <- run(ctx, defaultOptions(badPath), ready) }()
+	<-ready // binds before loading, so readyz is observable during load
+	select {
+	case code := <-exit:
+		if code != 1 {
+			t.Fatalf("exit code %d, want 1", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit on a corrupt initial model")
+	}
+}
+
+// TestSIGHUPReload: SIGHUP re-reads the model file in place and bumps the
+// served version without dropping readiness.
+func TestSIGHUPReload(t *testing.T) {
+	dir := t.TempDir()
+	pathA := testModelFile(t, dir, 1)
+	pathB := testModelFile(t, dir, 2)
+
+	o := defaultOptions(filepath.Join(dir, "live.json"))
+	copyFile(t, pathA, o.model)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit := startServer(t, ctx, o)
+	waitReady(t, base)
+
+	// Swap the file contents and nudge the process.
+	copyFile(t, pathB, o.model)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("model version never advanced after SIGHUP")
+		}
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Serve struct {
+				ModelVersion int64 `json:"model_version"`
+			} `json:"serve"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Serve.ModelVersion == 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	if code := <-exit; code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,13 +19,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
 	"strings"
-	"syscall"
 	"time"
 
 	"cmpdt"
+	"cmpdt/internal/cli"
 	"cmpdt/internal/eval"
 	"cmpdt/internal/obs"
 	"cmpdt/internal/storage"
@@ -52,18 +51,12 @@ func main() {
 	noBootstrap := flag.Bool("no-bootstrap", false, "train every -forest tree on the full set (disables out-of-bag estimation)")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	cacheBytes, err := storage.ParseCacheSize(*cache)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmptrain:", err)
-		os.Exit(1)
+		cli.Fatal("cmptrain", err)
 	}
 	opts := eval.Options{
 		Intervals:       *intervals,
@@ -84,14 +77,14 @@ func main() {
 			eval:        opts,
 		}
 		if err := runForest(ctx, fcfg, *data, *save, *metricsJSON, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "cmptrain:", err)
-			os.Exit(1)
+			stop()
+			cli.Fatal("cmptrain", err)
 		}
 		return
 	}
 	if err := run(ctx, *algo, *data, *save, *metricsJSON, *quiet, opts, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cmptrain:", err)
-		os.Exit(1)
+		stop()
+		cli.Fatal("cmptrain", err)
 	}
 }
 

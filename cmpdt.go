@@ -33,6 +33,7 @@
 package cmpdt
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -462,11 +463,23 @@ func (t *Tree) SaveModel(path string) error {
 	return f.Close()
 }
 
-// ReadModel deserializes a model written by WriteModel.
+// ReadModel deserializes a model written by WriteModel. Read failures come
+// back unwrapped (retrying may succeed); structural failures — truncation,
+// wrong format, validation — match ErrBadModel and never will.
 func ReadModel(r io.Reader) (*Tree, error) {
-	inner, err := tree.ReadJSON(r)
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cmpdt: reading model: %w", err)
+	}
+	return readModelBytes(data)
+}
+
+// readModelBytes decodes a single-tree model from bytes already read, so
+// every failure past this point is structural by construction.
+func readModelBytes(data []byte) (*Tree, error) {
+	inner, err := tree.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, badModel(err)
 	}
 	return &Tree{t: inner}, nil
 }

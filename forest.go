@@ -240,11 +240,22 @@ func trainForestSource(ctx context.Context, src storage.RangeSource, cfg ForestC
 	return &Forest{f: res.Forest}, nil
 }
 
-// ReadForest deserializes a forest model written by Forest.WriteModel.
+// ReadForest deserializes a forest model written by Forest.WriteModel. As
+// with ReadModel, read failures come back unwrapped while structural
+// failures match ErrBadModel.
 func ReadForest(r io.Reader) (*Forest, error) {
-	inner, err := forest.ReadJSON(r)
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cmpdt: reading model: %w", err)
+	}
+	return readForestBytes(data)
+}
+
+// readForestBytes decodes a forest model from bytes already read.
+func readForestBytes(data []byte) (*Forest, error) {
+	inner, err := forest.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, badModel(err)
 	}
 	return &Forest{f: inner}, nil
 }
@@ -264,28 +275,37 @@ func LoadForest(path string) (*Forest, error) {
 // sniffing the JSON envelope's format field. Regression forests are
 // rejected: they have no classification surface, so load them with
 // ReadForest and score via PredictValue.
+//
+// Errors are typed for serving layers: failures reading r (transient I/O)
+// come back unwrapped, while every structural rejection — empty input,
+// truncated or non-JSON bytes, a wrong format magic, validation failures,
+// a regression forest — matches ErrBadModel via errors.Is, so a reloader
+// can tell "retry later" from "this file will never load".
 func ReadPredictor(r io.Reader) (Predictor, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cmpdt: reading model: %w", err)
+	}
+	if len(data) == 0 {
+		return nil, badModel(errors.New("empty input"))
 	}
 	var env struct {
 		Format string `json:"format"`
 	}
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("cmpdt: not a model file: %w", err)
+		return nil, badModel(fmt.Errorf("not a model file: %w", err))
 	}
 	if env.Format == "cmpdt-forest" {
-		f, err := ReadForest(bytes.NewReader(data))
+		f, err := readForestBytes(data)
 		if err != nil {
 			return nil, err
 		}
 		if f.Regression() {
-			return nil, errors.New("cmpdt: regression forest has no classification surface; use LoadForest and PredictValue")
+			return nil, badModel(errors.New("regression forest has no classification surface; use LoadForest and PredictValue"))
 		}
 		return f, nil
 	}
-	return ReadModel(bytes.NewReader(data))
+	return readModelBytes(data)
 }
 
 // LoadPredictor reads a tree or forest model from a file (see

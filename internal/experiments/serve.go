@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"cmpdt"
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/serve"
+	"cmpdt/internal/synth"
+)
+
+// ServeLatencyRow is one closed-loop load point against the serving stack:
+// a fixed number of concurrent clients hammering POST /predict through the
+// full handler path (JSON decode, admission, coalescing, scoring, JSON
+// encode) with no network in between, so the numbers isolate the serving
+// pipeline itself. Percentiles are exact (nearest-rank over every request
+// in the window), unlike the bucketed /metrics histograms.
+type ServeLatencyRow struct {
+	Clients int     `json:"clients"`
+	QPS     float64 `json:"qps"`
+	P50Ns   int64   `json:"p50_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+}
+
+// ServeOverload reports the load-shedding point: requests offered at about
+// twice the configured service rate against a deliberately small queue.
+// ShedRate is the fraction answered 429; Served+Shed counts every request.
+type ServeOverload struct {
+	OfferedQPS   float64 `json:"offered_qps"`
+	ServedQPS    float64 `json:"served_qps"`
+	ShedRate     float64 `json:"shed_rate"`
+	Served       int     `json:"served"`
+	Shed         int     `json:"shed"`
+	QueueDepth   int     `json:"queue_depth"`
+	ScoreDelayNs int64   `json:"score_delay_ns"`
+}
+
+// ServeResult is the serving benchmark baseline BENCH_serve.json records.
+// Rows (set "serve") feed the benchdiff CI gate; Latency and Overload are
+// informational (latency quantiles and shed behaviour vary too much
+// run-to-run for a strict ratio gate, so the gate pins throughput).
+type ServeResult struct {
+	Workload   string            `json:"workload"`
+	Records    int               `json:"records"`
+	TreeNodes  int               `json:"tree_nodes"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Rows       []InferRow        `json:"rows"`
+	Latency    []ServeLatencyRow `json:"latency"`
+	Overload   ServeOverload     `json:"overload"`
+}
+
+// serveClientCounts are the measured concurrency points.
+var serveClientCounts = []int{1, 2, 8}
+
+// serveWindow is how long each load point runs.
+const serveWindow = 250 * time.Millisecond
+
+// ServeBench measures the cmpserve serving stack end to end (in process):
+// closed-loop request throughput and latency at 1/2/8 concurrent clients,
+// and the shed rate under a ~2x overload against a bounded queue. The
+// model is a CMP-B tree over o.N Function-2 records — the same workload as
+// the inference benchmark, so the per-record serving overhead can be read
+// against BENCH_infer's bare scoring cost.
+func (o Opts) ServeBench() (*ServeResult, error) {
+	tr, err := trainServeModel(o)
+	if err != nil {
+		return nil, err
+	}
+	out := &ServeResult{
+		Workload:   synth.F2.String(),
+		Records:    o.N,
+		TreeNodes:  tr.Size(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Pre-marshal a pool of request bodies so the clients measure the
+	// server, not their own encoding.
+	bodies := serveRequestBodies(o.Seed)
+
+	var serialNs float64
+	for _, clients := range serveClientCounts {
+		qps, p50, p99, err := serveLoadPoint(tr, clients, bodies)
+		if err != nil {
+			return nil, err
+		}
+		ns := 1e9 / qps
+		if clients == serveClientCounts[0] {
+			serialNs = ns
+		}
+		out.Rows = append(out.Rows, InferRow{
+			Set:              "serve",
+			Mode:             "predict",
+			Workers:          clients,
+			NsPerRecord:      ns,
+			MRecordsPerSec:   qps / 1e6,
+			SpeedupVsPointer: serialNs / ns,
+			// Allocations are not metered on the serving path: every
+			// request allocates JSON and HTTP state by design, and GC
+			// jitter would flake the gate's strict alloc check. The
+			// zero-alloc invariant is gated where it holds — the
+			// BENCH_infer scoring rows.
+			AllocsPerRecord: 0,
+		})
+		out.Latency = append(out.Latency, ServeLatencyRow{
+			Clients: clients, QPS: qps, P50Ns: p50, P99Ns: p99,
+		})
+	}
+
+	ov, err := serveOverloadPoint(tr, bodies)
+	if err != nil {
+		return nil, err
+	}
+	out.Overload = *ov
+	return out, nil
+}
+
+// trainServeModel trains the benchmark model through the public API (the
+// same surface cmpserve loads through).
+func trainServeModel(o Opts) (*cmpdt.Tree, error) {
+	ds, err := cmpdt.NewDataset(publicSchema(synth.Schema()))
+	if err != nil {
+		return nil, err
+	}
+	if err := synth.GenerateTo(ds, synth.F2, o.N, o.Seed, synth.Options{}); err != nil {
+		return nil, err
+	}
+	return cmpdt.Train(ds, cmpdt.Config{
+		Algorithm: cmpdt.CMPB,
+		Intervals: o.Intervals,
+		Seed:      o.Seed,
+	})
+}
+
+// publicSchema converts the internal dataset schema to the public one.
+func publicSchema(s *dataset.Schema) cmpdt.Schema {
+	out := cmpdt.Schema{Classes: append([]string(nil), s.Classes...)}
+	for _, a := range s.Attrs {
+		attr := cmpdt.Attr{Name: a.Name}
+		if a.Kind == dataset.Categorical {
+			attr.Values = append([]string(nil), a.Values...)
+		}
+		out.Attrs = append(out.Attrs, attr)
+	}
+	return out
+}
+
+// serveRequestBodies pre-marshals single-record /predict bodies drawn from
+// the Agrawal generator.
+func serveRequestBodies(seed int64) [][]byte {
+	tbl := synth.Generate(synth.F2, 256, seed+1)
+	bodies := make([][]byte, tbl.NumRecords())
+	for i := range bodies {
+		b, _ := json.Marshal(struct {
+			Values []float64 `json:"values"`
+		}{tbl.Row(i)})
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// newBenchServer builds a serving stack around an already-trained model.
+func newBenchServer(tr *cmpdt.Tree, cfg serve.Config) (*serve.Server, error) {
+	cfg.Loader = func(string) (cmpdt.Predictor, error) { return tr, nil }
+	s := serve.New(cfg)
+	if _, err := s.Load("bench://f2"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// serveLoadPoint runs clients concurrent closed-loop clients against a
+// fresh server for serveWindow and returns (qps, p50, p99).
+func serveLoadPoint(tr *cmpdt.Tree, clients int, bodies [][]byte) (float64, int64, int64, error) {
+	s, err := newBenchServer(tr, serve.Config{QueueDepth: 4096})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer drainBenchServer(s)
+	h := s.Handler()
+
+	lat := make([][]int64, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Since(start) < serveWindow; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/predict",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				w := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("serve bench: status %d: %s", w.Code, w.Body)
+					return
+				}
+				lat[c] = append(lat[c], time.Since(t0).Nanoseconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, 0, 0, err
+	default:
+	}
+	var all []int64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, fmt.Errorf("serve bench: no requests completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	qps := float64(len(all)) / wall.Seconds()
+	return qps, exactQuantile(all, 0.50), exactQuantile(all, 0.99), nil
+}
+
+// serveOverloadPoint offers requests at roughly twice the configured
+// service rate (ScoreDelay per micro-batch, MaxBatch 1) against a small
+// queue and reports the shed split.
+func serveOverloadPoint(tr *cmpdt.Tree, bodies [][]byte) (*ServeOverload, error) {
+	const (
+		scoreDelay = 500 * time.Microsecond
+		queueDepth = 4
+		window     = 300 * time.Millisecond
+	)
+	s, err := newBenchServer(tr, serve.Config{
+		QueueDepth: queueDepth,
+		MaxBatch:   1, // no coalescing: the service rate stays 1/scoreDelay
+		ScoreDelay: scoreDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer drainBenchServer(s)
+	h := s.Handler()
+
+	// Open-loop arrivals at 2x the service rate: one request every
+	// scoreDelay/2, each completing (or shedding) on its own goroutine.
+	interval := scoreDelay / 2
+	total := int(window / interval)
+	codes := make([]int, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/predict",
+				bytes.NewReader(bodies[i%len(bodies)]))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	ov := &ServeOverload{
+		QueueDepth:   queueDepth,
+		ScoreDelayNs: scoreDelay.Nanoseconds(),
+	}
+	for _, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ov.Served++
+		case http.StatusTooManyRequests:
+			ov.Shed++
+		default:
+			return nil, fmt.Errorf("serve bench: overload request got status %d", code)
+		}
+	}
+	ov.OfferedQPS = float64(total) / wall.Seconds()
+	ov.ServedQPS = float64(ov.Served) / wall.Seconds()
+	ov.ShedRate = float64(ov.Shed) / float64(total)
+	return ov, nil
+}
+
+// drainBenchServer shuts a bench server down, bounded so a wedged drain
+// cannot hang the benchmark.
+func drainBenchServer(s *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// exactQuantile is nearest-rank over sorted samples.
+func exactQuantile(sorted []int64, q float64) int64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// PrintServeBench renders the result as aligned tables.
+func PrintServeBench(w io.Writer, r *ServeResult) {
+	fmt.Fprintf(w, "workload %s, model %d nodes over %d records, GOMAXPROCS %d\n",
+		r.Workload, r.TreeNodes, r.Records, r.GOMAXPROCS)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "clients\tqps\tp50\tp99\tns/record\tspeedup")
+	for i, row := range r.Rows {
+		l := r.Latency[i]
+		fmt.Fprintf(tw, "%d\t%.0f\t%.1fus\t%.1fus\t%.1f\t%.2fx\n",
+			l.Clients, l.QPS, float64(l.P50Ns)/1e3, float64(l.P99Ns)/1e3,
+			row.NsPerRecord, row.SpeedupVsPointer)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "overload: offered %.0f qps vs queue %d + %.1fms/batch -> served %.0f qps, shed %.1f%% (%d of %d)\n",
+		r.Overload.OfferedQPS, r.Overload.QueueDepth,
+		float64(r.Overload.ScoreDelayNs)/1e6, r.Overload.ServedQPS,
+		100*r.Overload.ShedRate, r.Overload.Shed, r.Overload.Served+r.Overload.Shed)
+}
+
+// WriteServeJSON writes the machine-readable baseline consumed by
+// BENCH_serve.json.
+func WriteServeJSON(w io.Writer, r *ServeResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -10,7 +10,9 @@ import (
 // ReportSchemaVersion identifies the emitted JSON layout. The CI bench
 // gate (cmd/benchdiff) and the golden-file schema test pin this contract:
 // bump it when a key is added, renamed, or removed.
-const ReportSchemaVersion = 2
+//
+// v3 added the serve block (null outside cmpserve).
+const ReportSchemaVersion = 3
 
 // PhaseStat is one phase's accumulated time.
 type PhaseStat struct {
@@ -78,6 +80,32 @@ type IOSummary struct {
 	PrefetchedPages int64 `json:"prefetched_pages"`
 }
 
+// ServeSummary is the serving-daemon block of the report, filled only by
+// cmd/cmpserve (null elsewhere). It condenses the serve_* registry metrics
+// into the handful of fields an operator dashboards first.
+type ServeSummary struct {
+	ModelVersion int64  `json:"model_version"`
+	ModelKind    string `json:"model_kind"`
+	ModelPath    string `json:"model_path"`
+	// Requests counts admitted prediction requests (single + batch);
+	// Records counts records scored through them.
+	Requests int64 `json:"requests"`
+	Records  int64 `json:"records"`
+	// Shed counts requests rejected at admission with 429.
+	Shed int64 `json:"shed"`
+	// Expired counts requests whose deadline fired before scoring finished.
+	Expired         int64 `json:"expired"`
+	ReloadSuccesses int64 `json:"reload_successes"`
+	ReloadFailures  int64 `json:"reload_failures"`
+	// ReloadBadModel counts the subset of failures that were structural
+	// (cmpdt.ErrBadModel): retrying the same file cannot succeed.
+	ReloadBadModel int64 `json:"reload_bad_model"`
+	QueueDepth     int64 `json:"queue_depth"`
+	// Latency percentiles of whole-request wall time, nanoseconds.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
 // Report is the machine-readable observability report: the -metrics-json
 // contract. Key set and nesting are stable for a given SchemaVersion;
 // timing values (ns fields, imbalance) vary run to run, everything else is
@@ -93,6 +121,8 @@ type Report struct {
 	// Metrics snapshots the auxiliary registry (inference latency
 	// histograms, tool-specific counters).
 	Metrics RegistrySnapshot `json:"metrics"`
+	// Serve is the serving-daemon summary; null outside cmd/cmpserve.
+	Serve *ServeSummary `json:"serve"`
 }
 
 // Snapshot assembles the collector's rounds into a Report. Build and IO

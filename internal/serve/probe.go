@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cmpdt"
+)
+
+// Probe is a validation gate run against every candidate model before it is
+// swapped in. The probe set is a CSV file: a header naming the columns,
+// then one record per row. Columns are re-resolved against each candidate's
+// schema by attribute name, so a reload that reorders or renames attributes
+// is caught before it serves a single request. An optional "class" column
+// holds expected class names; when present, the candidate must score at
+// least MinAccuracy on them.
+type Probe struct {
+	// Path locates the probe CSV. It is re-read on every check, so the
+	// probe set itself can be updated without restarting the server.
+	Path string
+	// MinAccuracy is the accuracy floor over the labeled probe rows in
+	// [0, 1]. Zero accepts any accuracy (the probe then only proves the
+	// model scores its own schema without faulting).
+	MinAccuracy float64
+}
+
+// check validates candidate p (with schema s) against the probe set.
+func (pr *Probe) check(p cmpdt.Predictor, s cmpdt.Schema) error {
+	f, err := os.Open(pr.Path)
+	if err != nil {
+		return fmt.Errorf("opening probe set: %w", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading probe set %s: %w", pr.Path, err)
+	}
+	if len(rows) < 2 {
+		return fmt.Errorf("probe set %s has no records", pr.Path)
+	}
+
+	// Resolve the header against this candidate's schema by name.
+	attrIdx := make(map[string]int, len(s.Attrs))
+	for i, a := range s.Attrs {
+		attrIdx[a.Name] = i
+	}
+	header := rows[0]
+	cols := make([]int, len(header)) // header column -> attr index, -1 = class
+	classCol := -1
+	seen := make([]bool, len(s.Attrs))
+	for c, name := range header {
+		name = strings.TrimSpace(name)
+		if name == "class" {
+			classCol = c
+			cols[c] = -1
+			continue
+		}
+		i, ok := attrIdx[name]
+		if !ok {
+			return fmt.Errorf("probe column %q is not an attribute of the candidate model", name)
+		}
+		cols[c] = i
+		seen[i] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("probe set is missing attribute %q required by the candidate model", s.Attrs[i].Name)
+		}
+	}
+	classIdx := make(map[string]int, len(s.Classes))
+	for i, c := range s.Classes {
+		classIdx[c] = i
+	}
+
+	vals := make([]float64, len(s.Attrs))
+	correct, labeled := 0, 0
+	for rn, row := range rows[1:] {
+		if len(row) != len(header) {
+			return fmt.Errorf("probe row %d has %d columns, header has %d", rn+1, len(row), len(header))
+		}
+		want := -1
+		for c, cell := range row {
+			if cols[c] == -1 {
+				w, ok := classIdx[strings.TrimSpace(cell)]
+				if !ok {
+					return fmt.Errorf("probe row %d: class %q unknown to the candidate model", rn+1, cell)
+				}
+				want = w
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return fmt.Errorf("probe row %d column %q: %w", rn+1, header[c], err)
+			}
+			vals[cols[c]] = v
+		}
+		got := p.Predict(vals)
+		if got < 0 || got >= len(s.Classes) {
+			return fmt.Errorf("probe row %d: prediction %d out of class range", rn+1, got)
+		}
+		if classCol >= 0 {
+			labeled++
+			if got == want {
+				correct++
+			}
+		}
+	}
+	if labeled > 0 && pr.MinAccuracy > 0 {
+		acc := float64(correct) / float64(labeled)
+		if acc < pr.MinAccuracy {
+			return fmt.Errorf("probe accuracy %.4f below floor %.4f (%d/%d)", acc, pr.MinAccuracy, correct, labeled)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmpdt"
+	"cmpdt/internal/obs"
+	"cmpdt/internal/storage"
+)
+
+// TestHotReloadUnderFire is the zero-drop hot-reload proof: concurrent
+// clients hammer /predict while the model is swapped good→good,
+// good→corrupt, and good→truncated. Every response must be 200 (no
+// deliberate sheds are configured), every response's predictions must be
+// exactly what its reported model version computes (no half-swapped
+// state), corrupt and truncated swaps must fail closed on the old
+// version, and the reload counters must account for every attempt.
+func TestHotReloadUnderFire(t *testing.T) {
+	dir := t.TempDir()
+	trA := trainModel(t, 1)
+	trB := trainModel(t, 2)
+	pathA := saveModel(t, dir, "a.json", trA)
+	pathB := saveModel(t, dir, "b.json", trB)
+
+	// Corrupt and truncated variants of A.
+	raw, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptPath := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corruptPath, []byte("\x00\x01 definitely not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncPath := filepath.Join(dir, "trunc.json")
+	if err := os.WriteFile(truncPath, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference predictions per model, computed directly.
+	recs := testRecords()
+	expect := map[string][]int{
+		pathA: trA.PredictBatchWorkers(nil, recs, 1),
+		pathB: trB.PredictBatchWorkers(nil, recs, 1),
+	}
+	// The two models must actually disagree somewhere, or the identity
+	// check below proves nothing.
+	differ := false
+	for i := range recs {
+		if expect[pathA][i] != expect[pathB][i] {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("test models agree everywhere; pick different seeds")
+	}
+
+	reg := obs.NewRegistry()
+	// Queue deep enough that nothing sheds: every non-200 is then a bug.
+	s := newTestServer(t, Config{QueueDepth: 4096, Registry: reg}, pathA)
+	h := s.Handler()
+
+	// versionPath records which file produced each version, filled as
+	// reloads succeed (version 1 = initial load of A).
+	var vmu sync.Mutex
+	versionPath := map[int64]string{1: pathA}
+
+	const clients = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				ri := (i*7 + c) % len(recs)
+				body, _ := json.Marshal(predictRequest{Values: recs[ri]})
+				w := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: status %d: %s", c, w.Code, w.Body)
+					return
+				}
+				var pr predictResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &pr); err != nil {
+					errCh <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				vmu.Lock()
+				p, known := versionPath[pr.ModelVersion]
+				vmu.Unlock()
+				if !known {
+					errCh <- fmt.Errorf("client %d: response from unknown model version %d", c, pr.ModelVersion)
+					return
+				}
+				if want := expect[p][ri]; pr.ClassIndex != want {
+					errCh <- fmt.Errorf("client %d: version %d (%s) predicted class %d for record %d, direct model says %d",
+						c, pr.ModelVersion, filepath.Base(p), pr.ClassIndex, ri, want)
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+
+	// Swap cycle under fire: good→good, good→corrupt (fail closed),
+	// good→truncated (fail closed), and back.
+	swaps := []struct {
+		path   string
+		wantOK bool
+	}{
+		{pathB, true}, {corruptPath, false}, {pathA, true},
+		{truncPath, false}, {pathB, true}, {corruptPath, false},
+		{pathA, true}, {pathB, true},
+	}
+	wantFailures := 0
+	for _, sw := range swaps {
+		time.Sleep(15 * time.Millisecond)
+		m, err := s.Reload(sw.path)
+		if sw.wantOK {
+			if err != nil {
+				t.Fatalf("reload %s: %v", sw.path, err)
+			}
+			vmu.Lock()
+			versionPath[m.Version] = sw.path
+			vmu.Unlock()
+			continue
+		}
+		wantFailures++
+		if err == nil {
+			t.Fatalf("reload %s succeeded on corrupt input", sw.path)
+		}
+		if !errors.Is(err, cmpdt.ErrBadModel) {
+			t.Fatalf("corrupt reload error %v does not match ErrBadModel", err)
+		}
+	}
+	time.Sleep(15 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if n := served.Load(); n < clients {
+		t.Fatalf("only %d requests served; the swap cycle starved the clients", n)
+	}
+	// Versions advance only on success: initial load + 5 good swaps = 6.
+	if got := s.Model().Version; got != 6 {
+		t.Fatalf("final version = %d, want 6", got)
+	}
+	if got := reg.Counter("serve_reload_success").Value(); got != 6 {
+		t.Fatalf("reload_success = %d, want 6", got)
+	}
+	if got := reg.Counter("serve_reload_failure").Value(); got != int64(wantFailures) {
+		t.Fatalf("reload_failure = %d, want %d", got, wantFailures)
+	}
+	if got := reg.Counter("serve_reload_bad_model").Value(); got != int64(wantFailures) {
+		t.Fatalf("reload_bad_model = %d, want %d", got, wantFailures)
+	}
+	if got := reg.Counter("serve_shed").Value(); got != 0 {
+		t.Fatalf("serve_shed = %d, want 0 (queue was sized to never shed)", got)
+	}
+}
+
+// TestReloadTransientFaultFailsClosed injects storage faults into the
+// loader: a transient read failure must fail the reload closed (old
+// version keeps serving) and be counted as a failure but NOT as a bad
+// model — the distinction a reload-retry loop keys on.
+func TestReloadTransientFaultFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	tr := trainModel(t, 1)
+	path := saveModel(t, dir, "m.json", tr)
+	// Pad the file so loading spans several reads (the injector never
+	// faults the first call); whitespace is legal JSON surroundings.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, bytes.Repeat([]byte(" "), 64<<10)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fi := storage.NewFaultInjector(7, 2)
+	faulty := func(p string) (cmpdt.Predictor, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		return cmpdt.ReadPredictor(fi.WrapReader(f, st.Size()))
+	}
+
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Loader: faulty, Registry: reg}, "")
+
+	// First load: the injector faults call 2, so this fails transiently.
+	_, err = s.Load(path)
+	if err == nil {
+		t.Fatal("expected the injected fault to fail the load")
+	}
+	if errors.Is(err, cmpdt.ErrBadModel) {
+		t.Fatalf("transient fault %v misclassified as ErrBadModel", err)
+	}
+	if !storage.IsTransient(err) {
+		t.Fatalf("injected fault %v not classified transient", err)
+	}
+	if s.Model() != nil {
+		t.Fatal("failed load installed a model")
+	}
+
+	// Cap the injector and retry: the reload now succeeds, proving the
+	// failure really was transient.
+	fi.SetMaxFaults(fi.Injected())
+	m, err := s.Reload(path)
+	if err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("version = %d, want 1 (failed loads must not consume versions)", m.Version)
+	}
+	if got := reg.Counter("serve_reload_failure").Value(); got != 1 {
+		t.Fatalf("reload_failure = %d, want 1", got)
+	}
+	if got := reg.Counter("serve_reload_bad_model").Value(); got != 0 {
+		t.Fatalf("reload_bad_model = %d, want 0: transient faults are not bad models", got)
+	}
+	if got := reg.Counter("serve_reload_success").Value(); got != 1 {
+		t.Fatalf("reload_success = %d, want 1", got)
+	}
+
+	// And predictions flow on the retried model.
+	got, _, err := s.Submit(context.Background(), [][]float64{{3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tr.Predict([]float64{3, 9}); got[0] != want {
+		t.Fatalf("prediction %d, want %d", got[0], want)
+	}
+}
+
+// TestReloadSchemaChangeMidFlight: a reload that changes the schema width
+// must not let queued requests index out of range — they are answered
+// with ErrSchemaMismatch by the dispatcher's re-check.
+func TestReloadSchemaChangeMidFlight(t *testing.T) {
+	dir := t.TempDir()
+	tr2 := trainModel(t, 1) // 2 attributes
+
+	// A 3-attribute model.
+	ds, err := cmpdt.NewDataset(cmpdt.Schema{
+		Attrs:   []cmpdt.Attr{{Name: "x"}, {Name: "y"}, {Name: "z"}},
+		Classes: []string{"neg", "pos"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		lbl := 0
+		if (i*13)%23 > 11 {
+			lbl = 1
+		}
+		if err := ds.Append([]float64{float64(i % 10), float64(i % 7), float64(i % 5)}, lbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr3, err := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMPS, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := saveModel(t, dir, "w2.json", tr2)
+	path3 := saveModel(t, dir, "w3.json", tr3)
+
+	s := newTestServer(t, Config{ScoreDelay: 10 * time.Millisecond, QueueDepth: 256}, path2)
+
+	// Keep 2-wide submits flowing while the 3-wide model swaps in.
+	var wg sync.WaitGroup
+	results := make(chan error, 64)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				_, _, err := s.Submit(context.Background(), [][]float64{{1, 2}})
+				results <- err
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := s.Reload(path3); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil && !errors.Is(err, ErrSchemaMismatch) {
+			t.Fatalf("unexpected error during schema-changing reload: %v", err)
+		}
+	}
+}
+
+// TestDrainBudgetExceeded: a drain that cannot flush in time reports it
+// instead of hanging.
+func TestDrainBudgetExceeded(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{QueueDepth: 64, ScoreDelay: 50 * time.Millisecond})
+	if _, err := s.Load(saveModel(t, dir, "m.json", trainModel(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		go s.Submit(context.Background(), [][]float64{{1, 2}})
+	}
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 1*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain reported success inside an impossible budget")
+	} else if !strings.Contains(err.Error(), "drain budget") {
+		t.Fatalf("unexpected drain error: %v", err)
+	}
+	// Let the flush actually finish so the test exits cleanly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+}

@@ -1,0 +1,479 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cmpdt"
+	"cmpdt/internal/obs"
+)
+
+// trainModel trains a small deterministic tree. Different seeds shift the
+// training data so distinct seeds yield models that disagree on some
+// inputs — which is what the reload tests need to tell versions apart.
+func trainModel(t *testing.T, seed int64) *cmpdt.Tree {
+	t.Helper()
+	ds, err := cmpdt.NewDataset(cmpdt.Schema{
+		Attrs:   []cmpdt.Attr{{Name: "x"}, {Name: "y"}},
+		Classes: []string{"neg", "pos"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		x := float64(i % 20)
+		y := float64((i*7 + int(seed)*3) % 17)
+		label := 0
+		if x+y*float64(1+seed%3) > 14 {
+			label = 1
+		}
+		if err := ds.Append([]float64{x, y}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := cmpdt.Train(ds, cmpdt.Config{Algorithm: cmpdt.CMPS, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// saveModel writes the model under dir and returns its path.
+func saveModel(t *testing.T, dir, name string, tr *cmpdt.Tree) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := tr.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testRecords is a fixed probe of inputs spanning the trained surface.
+func testRecords() [][]float64 {
+	var recs [][]float64
+	for x := 0.0; x < 20; x += 3 {
+		for y := 0.0; y < 17; y += 2 {
+			recs = append(recs, []float64{x, y})
+		}
+	}
+	return recs
+}
+
+func newTestServer(t *testing.T, cfg Config, modelPath string) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	if modelPath != "" {
+		if _, err := s.Load(modelPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestSubmitMatchesDirect: the pipeline returns exactly what the model
+// itself predicts, through both the single and batch paths.
+func TestSubmitMatchesDirect(t *testing.T) {
+	dir := t.TempDir()
+	tr := trainModel(t, 1)
+	s := newTestServer(t, Config{}, saveModel(t, dir, "m.json", tr))
+
+	recs := testRecords()
+	want := tr.PredictBatchWorkers(nil, recs, 1)
+
+	// Batch in one submit.
+	got, m, err := s.Submit(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("version = %d, want 1", m.Version)
+	}
+	for i := range recs {
+		if got[i] != want[i] {
+			t.Fatalf("batch record %d: got class %d, want %d", i, got[i], want[i])
+		}
+	}
+	// One record per submit, concurrently (exercises coalescing).
+	var wg sync.WaitGroup
+	for i := range recs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := s.Submit(context.Background(), recs[i:i+1])
+			if err != nil {
+				t.Errorf("record %d: %v", i, err)
+				return
+			}
+			if got[0] != want[i] {
+				t.Errorf("record %d: got class %d, want %d", i, got[0], want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSubmitNotReady: predictions before the first load fail fast.
+func TestSubmitNotReady(t *testing.T) {
+	s := newTestServer(t, Config{}, "")
+	_, _, err := s.Submit(context.Background(), [][]float64{{1, 2}})
+	if !errors.Is(err, ErrNotReady) {
+		t.Fatalf("err = %v, want ErrNotReady", err)
+	}
+}
+
+// TestSchemaMismatch: wrong-width records are rejected, not mis-indexed.
+func TestSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{}, saveModel(t, dir, "m.json", trainModel(t, 1)))
+	_, _, err := s.Submit(context.Background(), [][]float64{{1, 2, 3}})
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+// TestQueueFullSheds: with a tiny queue and a slow scorer, overload is
+// shed with ErrShed instead of queuing without bound — and the shed
+// counter records every rejection.
+func TestQueueFullSheds(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{
+		QueueDepth: 2,
+		ScoreDelay: 20 * time.Millisecond,
+		Registry:   reg,
+	}, saveModel(t, dir, "m.json", trainModel(t, 1)))
+
+	const clients = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	shed, served := 0, 0
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := s.Submit(context.Background(), [][]float64{{1, 2}})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, ErrShed):
+				shed++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatal("no requests shed: queue was not bounded under overload")
+	}
+	if served == 0 {
+		t.Fatal("no requests served under overload")
+	}
+	if got := reg.Counter("serve_shed").Value(); got != int64(shed) {
+		t.Fatalf("serve_shed = %d, want %d", got, shed)
+	}
+}
+
+// TestDeadlinePropagates: a request whose deadline is shorter than the
+// service time comes back DeadlineExceeded instead of blocking.
+func TestDeadlinePropagates(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{
+		ScoreDelay: 200 * time.Millisecond,
+	}, saveModel(t, dir, "m.json", trainModel(t, 1)))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := s.Submit(ctx, [][]float64{{1, 2}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestDrainFlushesQueue: Drain answers every queued request, then refuses
+// new ones — the zero-drop half of graceful shutdown.
+func TestDrainFlushesQueue(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{
+		QueueDepth: 64,
+		ScoreDelay: 5 * time.Millisecond,
+	})
+	if _, err := s.Load(saveModel(t, dir, "m.json", trainModel(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 16
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.Submit(context.Background(), [][]float64{{1, 2}})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let them enqueue
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain did not finish in budget: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d dropped during drain: %v", i, err)
+		}
+	}
+	if _, _, err := s.Submit(context.Background(), [][]float64{{1, 2}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+	}
+	// Idempotent.
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestHTTPRoundTrip drives the full handler stack: readyz transitions,
+// predict, batch, metrics, reload endpoint, shed status, and input
+// validation statuses.
+func TestHTTPRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := trainModel(t, 1)
+	path := saveModel(t, dir, "m.json", tr)
+	s := newTestServer(t, Config{}, "")
+	h := s.Handler()
+
+	get := func(url string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, url, nil))
+		return w
+	}
+	post := func(url, body string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	// Before load: healthy but not ready; predictions 503.
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before load = %d, want 503", w.Code)
+	}
+	if w := post("/predict", `{"values":[1,2]}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("predict before load = %d, want 503", w.Code)
+	}
+
+	// Load via the admin endpoint.
+	if w := post("/-/reload?path="+path, ""); w.Code != http.StatusOK {
+		t.Fatalf("reload = %d: %s", w.Code, w.Body)
+	}
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after load = %d, want 200", w.Code)
+	}
+
+	// Single predict matches the model.
+	rec := []float64{3, 9}
+	w := post("/predict", `{"values":[3,9]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", w.Code, w.Body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if want := tr.Predict(rec); pr.ClassIndex != want || pr.Class != tr.ModelSchema().Classes[want] {
+		t.Fatalf("predict = %+v, want class %d", pr, want)
+	}
+	if pr.ModelVersion != 1 {
+		t.Fatalf("model_version = %d, want 1", pr.ModelVersion)
+	}
+
+	// Batch predict matches too.
+	recs := testRecords()
+	body, _ := json.Marshal(batchRequest{Records: recs})
+	w = post("/predict/batch", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", w.Code, w.Body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	want := tr.PredictBatchWorkers(nil, recs, 1)
+	for i := range recs {
+		if br.ClassIndexes[i] != want[i] {
+			t.Fatalf("batch record %d: got %d, want %d", i, br.ClassIndexes[i], want[i])
+		}
+	}
+
+	// Input validation statuses.
+	if w := post("/predict", `{"values":[]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty values = %d, want 400", w.Code)
+	}
+	if w := post("/predict", `not json`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad json = %d, want 400", w.Code)
+	}
+	if w := post("/predict", `{"values":[1,2,3]}`); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("width mismatch = %d, want 422", w.Code)
+	}
+	over := make([][]float64, s.cfg.MaxBatchRecords+1)
+	for i := range over {
+		over[i] = []float64{1, 2}
+	}
+	body, _ = json.Marshal(batchRequest{Records: over})
+	if w := post("/predict/batch", string(body)); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch = %d, want 413", w.Code)
+	}
+	if w := get("/predict"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict = %d, want 405", w.Code)
+	}
+
+	// Reloading a corrupt file is a structural 422 and keeps serving.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if w := post("/-/reload?path="+bad, ""); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt reload = %d, want 422: %s", w.Code, w.Body)
+	}
+	if w := post("/predict", `{"values":[3,9]}`); w.Code != http.StatusOK {
+		t.Fatalf("predict after failed reload = %d, want 200", w.Code)
+	}
+
+	// Metrics report includes the serve block with the version intact.
+	w = get("/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	var rep struct {
+		SchemaVersion int               `json:"schema_version"`
+		Serve         *obs.ServeSummary `json:"serve"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != obs.ReportSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, obs.ReportSchemaVersion)
+	}
+	if rep.Serve == nil || rep.Serve.ModelVersion != 1 || rep.Serve.ReloadFailures != 1 || rep.Serve.ReloadBadModel != 1 {
+		t.Fatalf("serve summary = %+v", rep.Serve)
+	}
+}
+
+// TestHTTPShedStatus: overload surfaces as 429 with a Retry-After hint.
+func TestHTTPShedStatus(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{
+		QueueDepth: 1,
+		ScoreDelay: 30 * time.Millisecond,
+		RetryAfter: 2 * time.Second,
+	}, saveModel(t, dir, "m.json", trainModel(t, 1)))
+	h := s.Handler()
+
+	const clients = 24
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	retryAfter := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"values":[1,2]}`))
+			h.ServeHTTP(w, req)
+			codes[i] = w.Code
+			retryAfter[i] = w.Header().Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	shed := 0
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] != "2" {
+				t.Fatalf("Retry-After = %q, want \"2\"", retryAfter[i])
+			}
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no 429s under deliberate overload")
+	}
+}
+
+// TestProbeGate: a probe set with labels gates the swap on accuracy, and a
+// probe that does not match the candidate's schema rejects the model.
+func TestProbeGate(t *testing.T) {
+	dir := t.TempDir()
+	tr := trainModel(t, 1)
+	path := saveModel(t, dir, "m.json", tr)
+
+	// Labeled probe from the model's own predictions: passes any floor.
+	var b bytes.Buffer
+	b.WriteString("x,y,class\n")
+	for _, r := range testRecords() {
+		fmt.Fprintf(&b, "%g,%g,%s\n", r[0], r[1], tr.PredictClass(r))
+	}
+	probePath := filepath.Join(dir, "probe.csv")
+	if err := os.WriteFile(probePath, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{Probe: &Probe{Path: probePath, MinAccuracy: 1.0}}, "")
+	if _, err := s.Load(path); err != nil {
+		t.Fatalf("self-consistent probe rejected the model: %v", err)
+	}
+
+	// An impossible floor on mismatched labels fails closed: the old
+	// version keeps serving.
+	bad := strings.Replace(b.String(), "pos", "neg", -1)
+	bad = strings.Replace(bad, "x,y,class", "x,y,class", 1)
+	if err := os.WriteFile(probePath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reload(path); err == nil {
+		t.Fatal("probe with impossible floor accepted the model")
+	} else if !strings.Contains(err.Error(), "accuracy") {
+		t.Fatalf("unexpected probe error: %v", err)
+	}
+	if got := s.Model().Version; got != 1 {
+		t.Fatalf("failed probe advanced the version to %d", got)
+	}
+	if _, _, err := s.Submit(context.Background(), [][]float64{{1, 2}}); err != nil {
+		t.Fatalf("old version stopped serving after failed probe: %v", err)
+	}
+
+	// A probe naming an unknown column rejects the candidate outright.
+	if err := os.WriteFile(probePath, []byte("x,z\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reload(path); err == nil || !strings.Contains(err.Error(), "not an attribute") {
+		t.Fatalf("schema-mismatched probe: err = %v", err)
+	}
+}

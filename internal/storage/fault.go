@@ -108,6 +108,15 @@ func (fi *FaultInjector) Wrap(r io.ReaderAt) io.ReaderAt {
 	return &faultyReaderAt{fi: fi, r: r}
 }
 
+// WrapReader returns a sequential io.Reader over r's first size bytes that
+// routes every read through the injector. Whole-file consumers (model
+// loading, JSON decoding) read through plain io.Reader rather than
+// positioned page reads; this adapter lets the same deterministic fault
+// schedule exercise those paths too.
+func (fi *FaultInjector) WrapReader(r io.ReaderAt, size int64) io.Reader {
+	return io.NewSectionReader(&faultyReaderAt{fi: fi, r: r}, 0, size)
+}
+
 // decide returns (0, false) for a clean read, or (n, true) for a fault that
 // should deliver n bytes (n == 0: outright error, n > 0: short read).
 func (fi *FaultInjector) decide(max int) (int, bool) {

@@ -1,0 +1,38 @@
+package cmpdt
+
+import (
+	"errors"
+)
+
+// ErrBadModel tags a model file rejected as structurally invalid: empty or
+// truncated bytes, JSON that does not parse, a wrong format magic, an
+// unsupported version, or a schema/node graph that fails validation.
+//
+// The distinction matters to serving layers: a load that fails with an
+// error matching ErrBadModel (errors.Is) will never succeed on retry — the
+// file itself is damaged — so the right response is to fail closed and
+// keep the previously loaded model. A load failing WITHOUT ErrBadModel
+// (a transient read fault, a missing file) may succeed if reissued.
+var ErrBadModel = errors.New("invalid model file")
+
+// modelFileError wraps a structural model-decoding failure so callers can
+// match either the ErrBadModel class or the specific underlying cause.
+type modelFileError struct {
+	err error
+}
+
+func (e *modelFileError) Error() string {
+	return "cmpdt: invalid model file: " + e.err.Error()
+}
+
+// Unwrap exposes both the class sentinel and the concrete cause to
+// errors.Is/As.
+func (e *modelFileError) Unwrap() []error { return []error{ErrBadModel, e.err} }
+
+// badModel tags err as a structural model failure; nil stays nil.
+func badModel(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &modelFileError{err: err}
+}
