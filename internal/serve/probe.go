@@ -108,6 +108,11 @@ func (pr *Probe) check(p cmpdt.Predictor, s cmpdt.Schema) error {
 			}
 		}
 	}
+	if pr.MinAccuracy > 0 && labeled == 0 {
+		// Silently skipping the floor would let an operator believe every
+		// reload is accuracy-gated when nothing is enforced.
+		return fmt.Errorf("probe set %s has no labeled rows (no \"class\" column) but an accuracy floor of %.4f is configured", pr.Path, pr.MinAccuracy)
+	}
 	if labeled > 0 && pr.MinAccuracy > 0 {
 		acc := float64(correct) / float64(labeled)
 		if acc < pr.MinAccuracy {

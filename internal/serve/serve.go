@@ -273,9 +273,14 @@ func (s *Server) Reload(path string) (*Model, error) {
 // are scored, the context expires, or the request is shed. It returns the
 // class indexes and the model version that produced them.
 func (s *Server) Submit(ctx context.Context, records [][]float64) ([]int, *Model, error) {
-	if s.model.Load() == nil {
+	m := s.model.Load()
+	if m == nil {
 		s.mNotReady.Inc()
 		return nil, nil, ErrNotReady
+	}
+	if err := checkWidth(records, len(m.Schema.Attrs)); err != nil {
+		s.mBadInput.Inc()
+		return nil, nil, err
 	}
 	j := &job{ctx: ctx, records: records, enqueued: time.Now(), done: make(chan jobResult, 1)}
 	s.admitMu.RLock()
@@ -390,37 +395,47 @@ func (s *Server) scoreBatch(batch []*job) {
 	}
 	dst := make([]int, total)
 	start := time.Now()
-	err := s.predictChunked(live, m, dst, records)
+	answered := s.predictChunked(live, m, dst, records)
 	s.hBatchNs.Observe(time.Since(start).Nanoseconds())
 	s.hBatchRecords.Observe(int64(total))
-	if err != nil {
-		return // predictChunked already answered every job
-	}
 	off := 0
-	for _, j := range live {
-		j.done <- jobResult{classes: dst[off : off+len(j.records)], model: m}
+	delivered := int64(0)
+	for i, j := range live {
+		if !answered[i] {
+			j.done <- jobResult{classes: dst[off : off+len(j.records)], model: m}
+			delivered += int64(len(j.records))
+		}
 		off += len(j.records)
 	}
-	s.mRecords.Add(int64(total))
+	s.mRecords.Add(delivered)
 }
 
 // predictChunked drives PredictBatchWorkers in bounded chunks, re-checking
 // the participating jobs' contexts between chunks — this is how a
-// per-request deadline propagates into the batch scoring path. When any
-// deadline fires mid-batch, every job in the batch is answered (scored
-// jobs could be completed, but answering uniformly keeps the accounting
-// simple and the failure loud) and a non-nil error tells the caller
-// results were not distributed.
-func (s *Server) predictChunked(live []*job, m *Model, dst []int, records [][]float64) error {
+// per-request deadline propagates into the batch scoring path. A job whose
+// deadline fires mid-batch is answered immediately with its own context
+// error; the other jobs are unaffected and keep scoring (the expired job's
+// records may still be scored in passing — wasted work bounded by one
+// micro-batch). Returns which jobs were already answered here; the caller
+// distributes results to the rest. Scoring stops early once every job has
+// expired.
+func (s *Server) predictChunked(live []*job, m *Model, dst []int, records [][]float64) []bool {
+	answered := make([]bool, len(live))
+	remaining := len(live)
 	for off := 0; off < len(records); off += scoreChunk {
-		for _, j := range live {
+		for i, j := range live {
+			if answered[i] {
+				continue
+			}
 			if err := j.ctx.Err(); err != nil {
 				s.mExpired.Inc()
-				for _, jj := range live {
-					jj.done <- jobResult{err: jj.ctx.Err()}
-				}
-				return err
+				answered[i] = true
+				remaining--
+				j.done <- jobResult{err: err}
 			}
+		}
+		if remaining == 0 {
+			return answered
 		}
 		end := off + scoreChunk
 		if end > len(records) {
@@ -428,7 +443,7 @@ func (s *Server) predictChunked(live []*job, m *Model, dst []int, records [][]fl
 		}
 		m.Predictor.PredictBatchWorkers(dst[off:end], records[off:end], s.cfg.Workers)
 	}
-	return nil
+	return answered
 }
 
 // checkWidth validates record widths against the serving schema. Widths

@@ -137,13 +137,18 @@ func TestSubmitNotReady(t *testing.T) {
 	}
 }
 
-// TestSchemaMismatch: wrong-width records are rejected, not mis-indexed.
+// TestSchemaMismatch: wrong-width records are rejected at admission —
+// counted as bad input, never occupying a queue slot.
 func TestSchemaMismatch(t *testing.T) {
 	dir := t.TempDir()
-	s := newTestServer(t, Config{}, saveModel(t, dir, "m.json", trainModel(t, 1)))
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg}, saveModel(t, dir, "m.json", trainModel(t, 1)))
 	_, _, err := s.Submit(context.Background(), [][]float64{{1, 2, 3}})
 	if !errors.Is(err, ErrSchemaMismatch) {
 		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+	if got := reg.Counter("serve_bad_requests").Value(); got != 1 {
+		t.Fatalf("serve_bad_requests = %d, want 1", got)
 	}
 }
 
@@ -205,6 +210,92 @@ func TestDeadlinePropagates(t *testing.T) {
 	_, _, err := s.Submit(ctx, [][]float64{{1, 2}})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// cancelOnBigChunk wraps a Predictor and fires cancel right after scoring
+// a chunk of at least scoreChunk records — deterministically expiring a
+// context between predictChunked's bounded chunks, mid-batch.
+type cancelOnBigChunk struct {
+	cmpdt.Predictor
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnBigChunk) PredictBatchWorkers(dst []int, records [][]float64, workers int) []int {
+	out := c.Predictor.PredictBatchWorkers(dst, records, workers)
+	if len(records) >= scoreChunk {
+		c.cancel()
+	}
+	return out
+}
+
+// TestDeadlineMidBatchSparesLiveJobs: when one coalesced job's context
+// dies between scoring chunks, only that job is answered with its own
+// context error; the other jobs in the micro-batch still get real
+// predictions and a non-nil model. Regression: live jobs used to receive
+// a nil-error, nil-model result that panicked the HTTP handlers.
+func TestDeadlineMidBatchSparesLiveJobs(t *testing.T) {
+	dir := t.TempDir()
+	tr := trainModel(t, 1)
+	path := saveModel(t, dir, "m.json", tr)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	loader := func(p string) (cmpdt.Predictor, error) {
+		inner, err := cmpdt.LoadPredictor(p)
+		if err != nil {
+			return nil, err
+		}
+		return &cancelOnBigChunk{Predictor: inner, cancel: cancelA}, nil
+	}
+	s := newTestServer(t, Config{
+		Loader:     loader,
+		MaxBatch:   4 * scoreChunk,
+		QueueDepth: 16,
+		ScoreDelay: 20 * time.Millisecond,
+	}, path)
+
+	// Job B spans two scoring chunks so the dispatcher re-checks contexts
+	// mid-batch; job A's context is canceled right after chunk one.
+	recsB := make([][]float64, scoreChunk+64)
+	for i := range recsB {
+		recsB[i] = []float64{float64(i % 20), float64(i % 17)}
+	}
+	want := tr.PredictBatchWorkers(nil, recsB, 1)
+
+	// Occupy the dispatcher with a small job (below the wrapper's trigger
+	// threshold) so A and B queue up and coalesce into one micro-batch,
+	// A first.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), [][]float64{{1, 2}})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	var errA error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errA = s.Submit(ctxA, [][]float64{{1, 2}})
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	got, m, errB := s.Submit(context.Background(), recsB)
+	wg.Wait()
+	if !errors.Is(errA, context.Canceled) {
+		t.Fatalf("canceled job err = %v, want context.Canceled", errA)
+	}
+	if errB != nil {
+		t.Fatalf("live job answered with error: %v", errB)
+	}
+	if m == nil {
+		t.Fatal("live job answered with nil model")
+	}
+	for i := range recsB {
+		if got[i] != want[i] {
+			t.Fatalf("live record %d: got class %d, want %d", i, got[i], want[i])
+		}
 	}
 }
 
@@ -475,5 +566,32 @@ func TestProbeGate(t *testing.T) {
 	}
 	if _, err := s.Reload(path); err == nil || !strings.Contains(err.Error(), "not an attribute") {
 		t.Fatalf("schema-mismatched probe: err = %v", err)
+	}
+}
+
+// TestProbeUnlabeledFloorRejected: configuring an accuracy floor against a
+// probe set with no "class" column must fail the load loudly — silently
+// skipping the floor would leave the operator believing reloads are
+// accuracy-gated when nothing is enforced (regression).
+func TestProbeUnlabeledFloorRejected(t *testing.T) {
+	dir := t.TempDir()
+	tr := trainModel(t, 1)
+	path := saveModel(t, dir, "m.json", tr)
+	probePath := filepath.Join(dir, "probe.csv")
+	if err := os.WriteFile(probePath, []byte("x,y\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{Probe: &Probe{Path: probePath, MinAccuracy: 0.9}}, "")
+	if _, err := s.Load(path); err == nil || !strings.Contains(err.Error(), "no labeled rows") {
+		t.Fatalf("unlabeled probe with accuracy floor: err = %v, want no-labeled-rows rejection", err)
+	}
+	if s.Model() != nil {
+		t.Fatal("rejected load installed a model")
+	}
+	// Without a floor the same unlabeled probe is a pure smoke gate.
+	s2 := newTestServer(t, Config{Probe: &Probe{Path: probePath}}, "")
+	if _, err := s2.Load(path); err != nil {
+		t.Fatalf("unlabeled probe without floor rejected the model: %v", err)
 	}
 }
