@@ -3,7 +3,7 @@ GO ?= go
 # Total-coverage floor enforced by cover-check (and CI).
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race bench bench-infer bench-cache bench-forest bench-serve bench-gate serve-smoke lint cover cover-check faults
+.PHONY: build test race bench bench-infer bench-cache bench-forest bench-serve bench-buildq bench-gate serve-smoke lint cover cover-check faults
 
 build:
 	$(GO) build ./...
@@ -46,17 +46,25 @@ bench-forest:
 bench-serve:
 	$(GO) run ./cmd/cmpbench -exp serve -n 20000 -json BENCH_serve.json
 
+# Quantized-build baseline: raw vs bin-coded CMP-B builds over the
+# disk-resident Function-2 store at workers {1,2,8} x cache {off,on},
+# writing ns/record (and the quantized trees-identical check) to
+# BENCH_buildq.json. The flags must match bench-gate's measurement.
+bench-buildq:
+	$(GO) run ./cmd/cmpbench -exp buildq -n 100000 -json BENCH_buildq.json
+
 # End-to-end daemon smoke: build cmpserve, start it on a real socket,
 # probe /readyz, score a golden batch twice (byte-identical answers),
 # check /metrics, then SIGTERM and assert a clean exit-0 drain.
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
-# The CI regression gate: measure the inference, forest, and serving paths
-# fresh and compare all three against their committed baselines in one
-# benchdiff invocation; fails on >25% ns/record regression, any
-# allocs/record increase, or a benchmark row vanishing. The aggregate
-# metrics report lands next to the measurement for artifact upload.
+# The CI regression gate: measure the inference, forest, serving, and
+# quantized-build paths fresh and compare all four against their committed
+# baselines in one benchdiff invocation; fails on >25% ns/record
+# regression, any allocs/record increase, or a benchmark row vanishing. The
+# aggregate metrics report lands next to the measurement for artifact
+# upload.
 bench-gate:
 	$(GO) run ./cmd/cmpbench -exp infer -json /tmp/bench_current.json \
 		-metrics-json /tmp/bench_metrics.json
@@ -64,9 +72,11 @@ bench-gate:
 		-json /tmp/bench_forest_current.json
 	$(GO) run ./cmd/cmpbench -exp serve -n 20000 \
 		-json /tmp/bench_serve_current.json
+	$(GO) run ./cmd/cmpbench -exp buildq -n 100000 \
+		-json /tmp/bench_buildq_current.json
 	$(GO) run ./cmd/benchdiff \
-		-baseline BENCH_infer.json,BENCH_forest.json,BENCH_serve.json \
-		-current /tmp/bench_current.json,/tmp/bench_forest_current.json,/tmp/bench_serve_current.json
+		-baseline BENCH_infer.json,BENCH_forest.json,BENCH_serve.json,BENCH_buildq.json \
+		-current /tmp/bench_current.json,/tmp/bench_forest_current.json,/tmp/bench_serve_current.json,/tmp/bench_buildq_current.json
 	$(MAKE) bench
 
 # gofmt + go vet always; staticcheck and govulncheck when installed (CI

@@ -28,7 +28,7 @@ import (
 	"cmpdt/internal/synth"
 )
 
-var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest", "serve"}
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest", "serve", "buildq"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
@@ -219,6 +219,25 @@ func main() {
 					return err
 				}
 				if err := experiments.WriteForestJSON(f, res); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+			return nil
+		case "buildq":
+			res, err := opts.BuildqBench()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Build quantization: raw vs bin-coded dense-histogram builds ==")
+			experiments.PrintBuildqBench(os.Stdout, res)
+			if *inferJSON != "" {
+				f, err := os.Create(*inferJSON)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteBuildqJSON(f, res); err != nil {
 					f.Close()
 					return err
 				}

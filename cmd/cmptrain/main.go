@@ -42,6 +42,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the build after this duration (0 = no limit)")
 	skipInvalid := flag.Bool("skip-invalid", false, "drop records with NaN/Inf features or out-of-range labels instead of aborting (CMP family)")
 	cache := flag.String("cache", "0", `page-cache capacity for the record store, e.g. "64m", "1g", plain bytes ("0" = uncached)`)
+	quantize := flag.Bool("quantize", false, "bin-coded dense-histogram build for the CMP family (thresholds stay in raw units)")
+	quantizeBins := flag.Int("quantize-bins", 0, "code-table resolution for -quantize (0 = -intervals)")
 	quiet := flag.Bool("quiet", false, "suppress the tree printout")
 	save := flag.String("save", "", "write the trained model as JSON to this path")
 	metricsJSON := flag.String("metrics-json", "", `write the observability report as JSON to this path ("-" for stdout)`)
@@ -67,6 +69,8 @@ func main() {
 		Seed:            *seed,
 		SkipInvalid:     *skipInvalid,
 		CacheBytes:      cacheBytes,
+		Quantize:        *quantize,
+		QuantizeBins:    *quantizeBins,
 	}
 	if *forestMode {
 		fcfg := forestOptions{
@@ -130,6 +134,8 @@ func runForest(ctx context.Context, fo forestOptions, data, save, metricsJSON st
 			Workers:         fo.eval.Workers,
 			Seed:            fo.eval.Seed,
 			CacheBytes:      fo.eval.CacheBytes,
+			Quantize:        fo.eval.Quantize,
+			QuantizeBins:    fo.eval.QuantizeBins,
 		},
 	}
 	if fo.eval.SkipInvalid {

@@ -33,10 +33,10 @@ func trainData(t *testing.T) string {
 
 // runMetrics trains with -metrics-json and returns the decoded report both
 // as the typed struct and as raw JSON.
-func runMetrics(t *testing.T, data string) (*obs.Report, []byte) {
+func runMetrics(t *testing.T, data string, quantize bool) (*obs.Report, []byte) {
 	t.Helper()
 	metrics := filepath.Join(t.TempDir(), "metrics.json")
-	opts := eval.Options{Workers: 1, Seed: 1}
+	opts := eval.Options{Workers: 1, Seed: 1, Quantize: quantize}
 	if err := run(context.Background(), "cmp", data, "", metrics, true, opts, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func keyPaths(v any) []string {
 // or removing a key must show up as a reviewed golden-file diff (and a
 // ReportSchemaVersion bump).
 func TestMetricsJSONSchemaGolden(t *testing.T) {
-	_, raw := runMetrics(t, trainData(t))
+	_, raw := runMetrics(t, trainData(t), false)
 	var doc any
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
@@ -114,6 +114,7 @@ func TestMetricsJSONSchemaGolden(t *testing.T) {
 // the report can be compared across runs.
 func stripTimings(rep *obs.Report) {
 	rep.Build.WallNs = 0
+	rep.Quant.QuantizeNs = 0
 	for name, st := range rep.PhaseTotals {
 		st.Ns = 0
 		rep.PhaseTotals[name] = st
@@ -135,8 +136,8 @@ func stripTimings(rep *obs.Report) {
 // record shares, tree shape, and I/O totals.
 func TestMetricsJSONDeterministic(t *testing.T) {
 	data := trainData(t)
-	a, _ := runMetrics(t, data)
-	b, _ := runMetrics(t, data)
+	a, _ := runMetrics(t, data, false)
+	b, _ := runMetrics(t, data, false)
 	stripTimings(a)
 	stripTimings(b)
 	if !reflect.DeepEqual(a, b) {
@@ -150,18 +151,38 @@ func TestMetricsJSONDeterministic(t *testing.T) {
 // the per-round scan counts sum exactly to the storage layer's own scan
 // counter.
 func TestMetricsScanTotalsMatchStorage(t *testing.T) {
-	rep, _ := runMetrics(t, trainData(t))
-	var sum int64
-	for _, r := range rep.Rounds {
-		sum += r.Scans
-	}
-	if sum != rep.IO.Scans {
-		t.Errorf("sum(rounds[].scans) = %d, io.scans = %d — must match exactly", sum, rep.IO.Scans)
-	}
-	if rep.IO.Scans == 0 {
-		t.Error("expected at least one completed scan")
-	}
-	if rep.SchemaVersion != obs.ReportSchemaVersion {
-		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, obs.ReportSchemaVersion)
+	data := trainData(t)
+	for _, tc := range []struct {
+		name     string
+		quantize bool
+	}{{"raw", false}, {"quantized", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, _ := runMetrics(t, data, tc.quantize)
+			var sum int64
+			for _, r := range rep.Rounds {
+				sum += r.Scans
+			}
+			if sum != rep.IO.Scans {
+				t.Errorf("sum(rounds[].scans) = %d, io.scans = %d — must match exactly", sum, rep.IO.Scans)
+			}
+			if rep.IO.Scans == 0 {
+				t.Error("expected at least one completed scan")
+			}
+			if rep.SchemaVersion != obs.ReportSchemaVersion {
+				t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, obs.ReportSchemaVersion)
+			}
+			if rep.Quant.Enabled != tc.quantize {
+				t.Errorf("quant.enabled = %v, want %v", rep.Quant.Enabled, tc.quantize)
+			}
+			if tc.quantize {
+				if rep.Quant.DenseScanRounds != rep.Build.Rounds || rep.Quant.IntervalScanRounds != 0 {
+					t.Errorf("quantized round kinds: dense=%d interval=%d rounds=%d",
+						rep.Quant.DenseScanRounds, rep.Quant.IntervalScanRounds, rep.Build.Rounds)
+				}
+				if rep.Quant.CodeBytesPerRecord <= 0 || len(rep.Quant.BinsPerAttr) == 0 {
+					t.Errorf("quant block incomplete: %+v", rep.Quant)
+				}
+			}
+		})
 	}
 }

@@ -220,6 +220,17 @@ type Config struct {
 	// prefetches in the observability report) change. Ignored for
 	// in-memory datasets.
 	CacheBytes int64
+	// Quantize routes training through the bin-coded dense-histogram path:
+	// one extra pass maps each numeric value to its equal-depth bin code,
+	// scan rounds then accumulate dense per-code histograms over the compact
+	// encoding. Emitted thresholds stay in raw feature units (they land on
+	// the bin breakpoints), trees remain bit-identical across worker counts
+	// and cache settings, and under CMPFull the linear-split search is
+	// skipped (the build behaves as CMP-B).
+	Quantize bool
+	// QuantizeBins is the per-numeric-attribute code-table resolution for
+	// Quantize (default: Intervals).
+	QuantizeBins int
 	// Observer, when non-nil, collects the build's observability report:
 	// per-round phase timings (scan, buffer sort, exact-split resolution,
 	// oblique search, decide, collect, prune), per-worker scan shares, and
@@ -292,6 +303,10 @@ func (c Config) internal() core.Config {
 	if c.CacheBytes > 0 {
 		cfg.CacheBytes = c.CacheBytes
 	}
+	cfg.Quantize = c.Quantize
+	if c.QuantizeBins != 0 {
+		cfg.QuantizeBins = c.QuantizeBins
+	}
 	return cfg
 }
 
@@ -312,6 +327,9 @@ type Stats struct {
 	// SkippedRecords is the number of invalid records dropped per training
 	// pass under ValidateSkip (zero under ValidateStrict).
 	SkippedRecords int64
+	// Quantized reports whether the build ran the bin-coded dense path
+	// (Config.Quantize, or a pre-quantized training store).
+	Quantized bool
 }
 
 // Tree is a trained classifier.
@@ -430,6 +448,7 @@ func trainSource(ctx context.Context, src storage.Source, cfg Config) (*Tree, *S
 		rep.Build.TreeDepth = res.Tree.Depth()
 		rep.Build.WallNs = time.Since(start).Nanoseconds()
 		res.Stats.FillSummary(&rep.Build)
+		res.Stats.FillQuant(&rep.Quant)
 		rep.IO = eval.IOSummary(res.IO)
 		cfg.Observer.rep = rep
 	}
@@ -442,6 +461,7 @@ func trainSource(ctx context.Context, src storage.Source, cfg Config) (*Tree, *S
 		DoubleSplits:    res.Stats.DoubleSplits,
 		ObliqueSplits:   res.Stats.ObliqueSplits,
 		SkippedRecords:  res.Stats.SkippedRecords,
+		Quantized:       res.Stats.Quantized,
 	}
 	return &Tree{t: res.Tree}, st, nil
 }

@@ -60,6 +60,9 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 			c.SetCacheBytes(cfg.CacheBytes)
 		}
 	}
+	if _, preQuantized := src.(storage.CodeSource); cfg.Quantize || preQuantized {
+		return buildQuantized(ctx, src, cfg)
+	}
 	b := &builder{
 		ctx:    ctx,
 		cfg:    cfg,
@@ -141,6 +144,7 @@ func BuildContext(ctx context.Context, src storage.Source, cfg Config) (res *Res
 	}
 	t := &tree.Tree{Root: b.root.tn, Schema: b.schema}
 	b.stats.ObliqueSplits = t.CountLinearSplits()
+	b.stats.IntervalScanRounds = b.stats.Rounds
 	return &Result{Tree: t, Stats: b.stats, IO: b.src.Stats()}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"cmpdt/internal/storage"
@@ -75,7 +76,7 @@ func TestCacheBuildDeterminism(t *testing.T) {
 					if !bytes.Equal(gotTree, wantTree) {
 						t.Error("tree differs from the in-memory serial build")
 					}
-					if gotStats != wantStats {
+					if !reflect.DeepEqual(gotStats, wantStats) {
 						t.Errorf("build stats differ:\n got  %+v\n want %+v", gotStats, wantStats)
 					}
 					if got := logicalIO(gotIO); got != logicalIO(wantIO) {

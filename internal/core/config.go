@@ -166,6 +166,23 @@ type Config struct {
 	// Evictions/PrefetchedPages); trees and logical scan accounting are
 	// bit-identical with or without it.
 	CacheBytes int64
+	// Quantize selects the bin-coded build path: one quantization pass maps
+	// each numeric attribute to small integer bin codes via the equal-depth
+	// discretizer (the code↔breakpoint tables travel with the store), and
+	// every construction round then scans compact code records, accumulating
+	// class histograms and CMP-B matrices by direct array indexing — no
+	// float decoding, no per-record interval search. Split thresholds are
+	// translated back to raw feature units from the breakpoint tables, and
+	// the determinism invariant (fixed seed ⇒ identical tree at any worker
+	// count, cache on or off) holds exactly as on the raw path. Linear-
+	// combination splits are not searched in code space: CMPFull builds
+	// behave as CMP-B when quantized.
+	Quantize bool
+	// QuantizeBins is the target number of bin codes per numeric attribute
+	// for quantized builds. Zero means Intervals (so quantized and raw
+	// builds see the same split-point resolution); the maximum is 65536.
+	// Attributes with at most 256 codes are stored in one byte each.
+	QuantizeBins int
 }
 
 // Default returns the configuration used throughout the evaluation.
@@ -241,6 +258,12 @@ func (c Config) normalize() (Config, error) {
 	if c.Intervals < 2 {
 		return c, fmt.Errorf("core: Intervals must be >= 2, got %d", c.Intervals)
 	}
+	if c.QuantizeBins == 0 {
+		c.QuantizeBins = c.Intervals
+	}
+	if c.QuantizeBins < 2 || c.QuantizeBins > 65536 {
+		return c, fmt.Errorf("core: QuantizeBins must be in [2,65536], got %d", c.QuantizeBins)
+	}
 	if c.MaxAlive < 1 {
 		return c, fmt.Errorf("core: MaxAlive must be >= 1, got %d", c.MaxAlive)
 	}
@@ -291,6 +314,27 @@ type Stats struct {
 	// every pass skips the same records). Zero under ValidateStrict.
 	SkippedRecords int64
 
+	// Quantized reports whether the build ran the bin-coded dense-histogram
+	// path (Config.Quantize, or a pre-quantized CMPDQ1 source).
+	Quantized bool
+	// QuantBinsPerAttr records each attribute's code-table size for
+	// quantized builds (numeric: cut points + 1; categorical: the
+	// cardinality). Nil for raw builds.
+	QuantBinsPerAttr []int
+	// QuantizeNs is the wall time of the quantization step — discretizer
+	// construction plus the encode pass. Zero when the source was already
+	// bin-coded.
+	QuantizeNs int64
+	// QuantCodeBytes is the encoded record size in bytes (sum of per-attr
+	// code widths plus the 2-byte label).
+	QuantCodeBytes int64
+	// DenseScanRounds and IntervalScanRounds partition Rounds by scan kind:
+	// dense bin-code array indexing versus per-record discretizer interval
+	// search. A build uses exactly one kind, so one of the two equals
+	// Rounds and the other is zero.
+	DenseScanRounds    int
+	IntervalScanRounds int
+
 	// Root-split diagnostics for Table 1: the attribute the root split on,
 	// how many alive intervals its provisional split retained, and the
 	// exact gini index of the resolved split.
@@ -313,6 +357,18 @@ func (s Stats) FillSummary(b *obs.BuildSummary) {
 	b.ObliqueSplits = s.ObliqueSplits
 	b.Reverts = s.Reverts
 	b.SkippedRecords = s.SkippedRecords
+}
+
+// FillQuant copies the quantization statistics into an observability
+// report's quant block. Valid for raw builds too: enabled=false with
+// interval_scan_rounds carrying the round count.
+func (s Stats) FillQuant(q *obs.QuantSummary) {
+	q.Enabled = s.Quantized
+	q.BinsPerAttr = s.QuantBinsPerAttr
+	q.QuantizeNs = s.QuantizeNs
+	q.CodeBytesPerRecord = s.QuantCodeBytes
+	q.DenseScanRounds = s.DenseScanRounds
+	q.IntervalScanRounds = s.IntervalScanRounds
 }
 
 // Result bundles a finished build.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"cmpdt/internal/storage"
@@ -71,7 +72,7 @@ func TestParallelBuildDeterminism(t *testing.T) {
 						if !bytes.Equal(gotTree, wantTree) {
 							t.Errorf("Workers=%d tree differs from serial build", w)
 						}
-						if gotStats != wantStats {
+						if !reflect.DeepEqual(gotStats, wantStats) {
 							t.Errorf("Workers=%d stats differ:\n got  %+v\n want %+v", w, gotStats, wantStats)
 						}
 						if gotIO != wantIO {
@@ -100,7 +101,7 @@ func TestParallelBuildDeterminismAllPairs(t *testing.T) {
 		if !bytes.Equal(gotTree, wantTree) {
 			t.Errorf("Workers=%d all-pairs tree differs from serial build", w)
 		}
-		if gotStats != wantStats {
+		if !reflect.DeepEqual(gotStats, wantStats) {
 			t.Errorf("Workers=%d stats differ:\n got  %+v\n want %+v", w, gotStats, wantStats)
 		}
 		if gotIO != wantIO {

@@ -120,7 +120,12 @@ func (b *builder) scanParallel(rs storage.RangeSource) error {
 // pure, item-local work; a panic in any worker is re-raised on the caller's
 // goroutine.
 func (b *builder) parallelDo(n int, f func(i int)) {
-	workers := b.cfg.Workers
+	doParallel(b.cfg.Workers, n, f)
+}
+
+// doParallel is parallelDo's builder-independent core, shared with the
+// quantized builder.
+func doParallel(workers, n int, f func(i int)) {
 	if workers > n {
 		workers = n
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -194,7 +195,7 @@ func TestValidationSkipDeterminism(t *testing.T) {
 		if !bytes.Equal(gotTree, wantTree) {
 			t.Errorf("Workers=%d skip-mode tree differs from serial build", w)
 		}
-		if gotStats != wantStats {
+		if !reflect.DeepEqual(gotStats, wantStats) {
 			t.Errorf("Workers=%d stats differ:\n got  %+v\n want %+v", w, gotStats, wantStats)
 		}
 	}

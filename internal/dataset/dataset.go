@@ -71,6 +71,18 @@ func (s *Schema) NumAttrs() int { return len(s.Attrs) }
 // NumClasses returns the number of class labels.
 func (s *Schema) NumClasses() int { return len(s.Classes) }
 
+// NumericAttrs returns the indices of the numeric attributes, in schema
+// order — the set the discretizing builders quantize and split by threshold.
+func (s *Schema) NumericAttrs() []int {
+	var out []int
+	for i := range s.Attrs {
+		if s.Attrs[i].Kind == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // AttrIndex returns the index of the attribute with the given name, or -1.
 func (s *Schema) AttrIndex(name string) int {
 	for i := range s.Attrs {

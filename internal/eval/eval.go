@@ -79,6 +79,12 @@ type Options struct {
 	// accounting are identical with or without it; only the physical cache
 	// counters in RunResult.IOStats change.
 	CacheBytes int64
+	// Quantize routes the CMP family through the bin-coded dense-histogram
+	// build path (see core.Config.Quantize). Ignored by the baselines.
+	Quantize bool
+	// QuantizeBins sets the quantized path's code-table resolution; zero
+	// means Intervals.
+	QuantizeBins int
 }
 
 func (o Options) withDefaults() Options {
@@ -203,13 +209,18 @@ func RunContext(ctx context.Context, algo string, src storage.Source, trainTbl, 
 		}
 		cfg.Obs = opts.Obs
 		cfg.CacheBytes = opts.CacheBytes
+		cfg.Quantize = opts.Quantize
+		cfg.QuantizeBins = opts.QuantizeBins
 		var res *core.Result
 		res, err = core.BuildContext(ctx, src, cfg)
 		if err == nil {
 			t = res.Tree
 			aux = res.Stats.NidBytesIO
 			mem = res.Stats.PeakMemoryBytes
-			r := finish(algo, src, start, t, aux, mem, res.Stats.ObliqueSplits, trainTbl, testTbl)
+			// res.IO, not src.Stats(): a quantized build's round scans run
+			// against the bin-coded store (possibly a temporary file), whose
+			// accounting lives in res.IO alongside the raw source's passes.
+			r := finishIO(algo, src, res.IO, start, t, aux, mem, res.Stats.ObliqueSplits, trainTbl, testTbl)
 			r.Skipped = res.Stats.SkippedRecords
 			st := res.Stats
 			r.CoreStats = &st
@@ -307,8 +318,11 @@ func coreAlgo(name string) core.Algorithm {
 }
 
 func finish(algo string, src storage.Source, start time.Time, t *tree.Tree, aux, mem int64, oblique int, trainTbl, testTbl *dataset.Table) *RunResult {
+	return finishIO(algo, src, src.Stats(), start, t, aux, mem, oblique, trainTbl, testTbl)
+}
+
+func finishIO(algo string, src storage.Source, io storage.Stats, start time.Time, t *tree.Tree, aux, mem int64, oblique int, trainTbl, testTbl *dataset.Table) *RunResult {
 	wall := time.Since(start)
-	io := src.Stats()
 	r := &RunResult{
 		Algorithm:    algo,
 		N:            src.NumRecords(),

@@ -28,6 +28,7 @@ func MetricsReport(c *obs.Collector, res *RunResult) *obs.Report {
 	}
 	if st := res.CoreStats; st != nil {
 		st.FillSummary(&rep.Build)
+		st.FillQuant(&rep.Quant)
 	}
 	rep.IO = IOSummary(res.IOStats)
 	return rep

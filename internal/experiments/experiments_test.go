@@ -269,3 +269,47 @@ func TestInference(t *testing.T) {
 	}
 	PrintInference(io.Discard, res)
 }
+
+// TestBuildqBench pins the quantized-build benchmark's shape: 12 rows (raw
+// and quantized at workers {1,2,8} x cache {off,on}), positive
+// measurements, the quantized-trees-identical differential check, and a
+// lossless JSON round-trip. Speedup magnitudes are asserted only by the CI
+// bench gate at its committed scale; at this test's size they are noise.
+func TestBuildqBench(t *testing.T) {
+	o := Defaults()
+	o.N = 3_000
+	o.Dir = t.TempDir()
+	res, err := o.BuildqBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Set != "buildq" {
+			t.Errorf("row set %q, want buildq", r.Set)
+		}
+		if r.NsPerRecord <= 0 || r.MRecordsPerSec <= 0 || r.SpeedupVsPointer <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+	}
+	if !res.TreesIdentical {
+		t.Error("quantized trees differ across worker/cache configurations")
+	}
+	if res.SpeedupSerial <= 0 {
+		t.Errorf("speedup_serial = %v", res.SpeedupSerial)
+	}
+	var buf strings.Builder
+	if err := WriteBuildqJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back BuildqResult
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Records != res.Records || len(back.Rows) != len(res.Rows) {
+		t.Error("JSON round-trip lost data")
+	}
+	PrintBuildqBench(io.Discard, res)
+}

@@ -289,6 +289,7 @@ func buildOne(ctx context.Context, src storage.RangeSource, mask *storage.Mask, 
 	if col != nil {
 		rep = col.Snapshot()
 		res.Stats.FillSummary(&rep.Build)
+		res.Stats.FillQuant(&rep.Quant)
 		rep.Build.TreeNodes = res.Tree.Size()
 		rep.Build.TreeLeaves = res.Tree.Leaves()
 		rep.Build.TreeDepth = res.Tree.Depth()

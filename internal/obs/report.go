@@ -12,7 +12,8 @@ import (
 // bump it when a key is added, renamed, or removed.
 //
 // v3 added the serve block (null outside cmpserve).
-const ReportSchemaVersion = 3
+// v4 added the quant block (always present; enabled=false on raw builds).
+const ReportSchemaVersion = 4
 
 // PhaseStat is one phase's accumulated time.
 type PhaseStat struct {
@@ -80,6 +81,26 @@ type IOSummary struct {
 	PrefetchedPages int64 `json:"prefetched_pages"`
 }
 
+// QuantSummary is the quantized-build block of the report. Always present;
+// a raw build reports enabled=false with interval_scan_rounds set and the
+// remaining fields zero.
+type QuantSummary struct {
+	Enabled bool `json:"enabled"`
+	// BinsPerAttr is each attribute's code-table size (numeric: cut points
+	// + 1; categorical: the cardinality). Null on raw builds.
+	BinsPerAttr []int `json:"bins_per_attr"`
+	// QuantizeNs is the wall time of the discretize + encode passes; zero
+	// when the training source was already bin-coded.
+	QuantizeNs int64 `json:"quantize_ns"`
+	// CodeBytesPerRecord is the encoded record size (per-attr code widths
+	// plus the 2-byte label).
+	CodeBytesPerRecord int64 `json:"code_bytes_per_record"`
+	// DenseScanRounds and IntervalScanRounds partition the build's rounds
+	// by scan kind; exactly one of the two equals the round count.
+	DenseScanRounds    int `json:"dense_scan_rounds"`
+	IntervalScanRounds int `json:"interval_scan_rounds"`
+}
+
 // ServeSummary is the serving-daemon block of the report, filled only by
 // cmd/cmpserve (null elsewhere). It condenses the serve_* registry metrics
 // into the handful of fields an operator dashboards first.
@@ -118,6 +139,8 @@ type Report struct {
 	// always present.
 	PhaseTotals map[string]PhaseStat `json:"phase_totals"`
 	Rounds      []RoundReport        `json:"rounds"`
+	// Quant is the quantized-build summary (enabled=false on raw builds).
+	Quant QuantSummary `json:"quant"`
 	// Metrics snapshots the auxiliary registry (inference latency
 	// histograms, tool-specific counters).
 	Metrics RegistrySnapshot `json:"metrics"`

@@ -165,6 +165,19 @@ func (d *Discretizer) Boundary(i int) float64 { return d.cuts[i] }
 // Cuts returns a copy of the cut points.
 func (d *Discretizer) Cuts() []float64 { return append([]float64(nil), d.cuts...) }
 
+// Representative returns a raw value that maps back into interval k: cut k
+// for interior intervals (Interval(cuts[k]) == k, since values equal to a
+// cut fall in the lower interval) and last — any value above the final cut,
+// typically the observed attribute maximum — for the top interval. It is
+// the decode side of bin coding: re-encoding a representative reproduces
+// its code exactly.
+func (d *Discretizer) Representative(k int, last float64) float64 {
+	if k < len(d.cuts) {
+		return d.cuts[k]
+	}
+	return last
+}
+
 // Slice returns a discretizer covering only intervals [lo, hi) of d, as used
 // when CMP-B splits a histogram matrix and the sub-matrix inherits the
 // parent's cuts restricted to one side.

@@ -59,10 +59,13 @@ var ErrWriterClosed = errors.New("storage: writer is closed")
 // implausible (malformed or hostile) inputs before allocating.
 const maxHeaderLen = 1 << 20
 
-// fileHeader is the JSON header stored after the magic string.
+// fileHeader is the JSON header stored after the magic string. Quant holds
+// the per-attribute code↔breakpoint tables of a quantized (CMPDQ1) store and
+// is absent from CMPDT1/CMPDT2 files.
 type fileHeader struct {
 	Schema     *dataset.Schema `json:"schema"`
 	NumRecords int             `json:"num_records"`
+	Quant      []QuantAttr     `json:"quant,omitempty"`
 }
 
 // Writer streams records into a new binary store file.
@@ -80,6 +83,10 @@ type Writer struct {
 	buf     []byte
 	version Version
 	page    []byte // FormatV2: payload bytes awaiting a checksum seal
+	// quant carries the bin-code tables of a quantized store; non-nil only
+	// for writers created by CreateQuantFile, whose magic and record
+	// encoding differ but whose header/page plumbing is shared.
+	quant []QuantAttr
 
 	closed    bool
 	closeFile *File
@@ -133,7 +140,7 @@ func CreateFileVersion(path string, schema *dataset.Schema, version Version) (*W
 const headerPad = 24
 
 func (w *Writer) writeHeader() error {
-	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n})
+	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n, Quant: w.quant})
 	if err != nil {
 		return err
 	}
@@ -143,6 +150,9 @@ func (w *Writer) writeHeader() error {
 	magic := magicV1
 	if w.version == FormatV2 {
 		magic = magicV2
+	}
+	if w.quant != nil {
+		magic = magicQ1
 	}
 	if _, err := w.bw.WriteString(magic); err != nil {
 		return err
@@ -195,7 +205,16 @@ func (w *Writer) Append(vals []float64, label int) error {
 		w.n++
 		return nil
 	}
-	rec := w.buf
+	if err := w.appendPaged(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// appendPaged streams one encoded record into the checksummed page stream,
+// sealing each page as it fills. Records may span page boundaries.
+func (w *Writer) appendPaged(rec []byte) error {
 	for len(rec) > 0 {
 		take := pagePayload - len(w.page)
 		if take > len(rec) {
@@ -209,7 +228,6 @@ func (w *Writer) Append(vals []float64, label int) error {
 			}
 		}
 	}
-	w.n++
 	return nil
 }
 
@@ -227,10 +245,26 @@ func (w *Writer) Close() (*File, error) {
 }
 
 func (w *Writer) finish() (*File, error) {
-	fail := func(err error) (*File, error) {
-		w.f.Close()
+	if err := w.finishSeal(); err != nil {
+		return nil, err
+	}
+	f, err := OpenFile(w.path)
+	if err != nil {
 		os.Remove(w.path)
 		return nil, err
+	}
+	return f, nil
+}
+
+// finishSeal seals the tail page, flushes, rewrites the header in place with
+// the final record count, and closes the descriptor. On any failure the
+// unusable partial file is removed. Shared by Writer.finish and the
+// quantized writer, which reopen the finished file differently.
+func (w *Writer) finishSeal() error {
+	fail := func(err error) error {
+		w.f.Close()
+		os.Remove(w.path)
+		return err
 	}
 	if w.version == FormatV2 && len(w.page) > 0 {
 		if err := w.sealPage(); err != nil {
@@ -242,11 +276,11 @@ func (w *Writer) finish() (*File, error) {
 	}
 	// Rewrite the header in place with the final record count, padded to the
 	// exact length reserved by writeHeader so record offsets are unchanged.
-	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n})
+	hdr, err := json.Marshal(fileHeader{Schema: w.schema, NumRecords: w.n, Quant: w.quant})
 	if err != nil {
 		return fail(err)
 	}
-	hdr0, _ := json.Marshal(fileHeader{Schema: w.schema, NumRecords: 0})
+	hdr0, _ := json.Marshal(fileHeader{Schema: w.schema, NumRecords: 0, Quant: w.quant})
 	reserved := len(hdr0) + headerPad
 	if len(hdr) > reserved {
 		return fail(fmt.Errorf("storage: header grew past reserved %d bytes", reserved))
@@ -259,14 +293,9 @@ func (w *Writer) finish() (*File, error) {
 	}
 	if err := w.f.Close(); err != nil {
 		os.Remove(w.path)
-		return nil, err
+		return err
 	}
-	f, err := OpenFile(w.path)
-	if err != nil {
-		os.Remove(w.path)
-		return nil, err
-	}
-	return f, nil
+	return nil
 }
 
 // Abort discards an in-progress write, closing and removing the partial
@@ -323,6 +352,8 @@ func OpenFile(path string) (*File, error) {
 		version = FormatV1
 	case magicV2:
 		version = FormatV2
+	case magicQ1:
+		return nil, fmt.Errorf("storage: %s is a quantized (CMPDQ1) store; use OpenQuantFile", path)
 	default:
 		return nil, fmt.Errorf("storage: %s is not a CMPDT record file", path)
 	}
@@ -717,9 +748,12 @@ func (f *File) recordReader(file *os.File, startRec int, stats *Stats) (io.Reade
 	return pr, nil
 }
 
-// scanRecords drives one metered pass over records lo <= rid < hi through a
-// private file descriptor; both Scan and ScanRange reduce to it.
-func (f *File) scanRecords(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
+// scanRaw drives one metered pass over records lo <= rid < hi through a
+// private file descriptor, handing fn each record's raw encoded bytes (the
+// slice is reused between calls). Float and bin-code scans both reduce to
+// it, so retry, checksum, cache, and accounting behavior is decided here
+// once, whatever the record encoding.
+func (f *File) scanRaw(lo, hi int, stats *Stats, fn func(rid int, rec []byte) error) error {
 	if lo < 0 {
 		lo = 0
 	}
@@ -741,8 +775,6 @@ func (f *File) scanRecords(lo, hi int, stats *Stats, fn func(rid int, vals []flo
 	if c, ok := br.(io.Closer); ok {
 		defer c.Close() // release any page the reader still has pinned
 	}
-	k := f.schema.NumAttrs()
-	vals := make([]float64, k)
 	buf := make([]byte, f.recSize)
 	account := func(recs int) {
 		stats.RecordsRead += int64(recs)
@@ -755,19 +787,28 @@ func (f *File) scanRecords(lo, hi int, stats *Stats, fn func(rid int, vals []flo
 			account(rid - lo)
 			return fmt.Errorf("storage: record %d of %s: %w", rid, f.path, err)
 		}
-		off := 0
-		for i := 0; i < k; i++ {
-			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-			off += 8
-		}
-		label := int(binary.LittleEndian.Uint16(buf[off:]))
-		if err := fn(rid, vals, label); err != nil {
+		if err := fn(rid, buf); err != nil {
 			account(rid - lo + 1)
 			return err
 		}
 	}
 	account(hi - lo)
 	return nil
+}
+
+// scanRecords decodes the standard float64-record encoding over scanRaw;
+// both Scan and ScanRange reduce to it.
+func (f *File) scanRecords(lo, hi int, stats *Stats, fn func(rid int, vals []float64, label int) error) error {
+	k := f.schema.NumAttrs()
+	vals := make([]float64, k)
+	return f.scanRaw(lo, hi, stats, func(rid int, rec []byte) error {
+		off := 0
+		for i := 0; i < k; i++ {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+			off += 8
+		}
+		return fn(rid, vals, int(binary.LittleEndian.Uint16(rec[off:])))
+	})
 }
 
 // Scan implements Source, reading the file sequentially with page-sized

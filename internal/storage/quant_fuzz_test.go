@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpdt/internal/dataset"
+)
+
+// FuzzOpenQuantFile throws arbitrary bytes at the CMPDQ1 header parser and,
+// when a store is accepted, at both scanners: neither may panic. Seeds cover
+// a real quantized store, its truncations, and malformed quant tables.
+func FuzzOpenQuantFile(f *testing.F) {
+	dir, err := os.MkdirTemp("", "fuzz-openquant")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "a", Kind: dataset.Numeric},
+			{Name: "b", Kind: dataset.Categorical, Values: []string{"u", "v"}},
+		},
+		Classes: []string{"n", "y"},
+	}
+	q, err := NewQuantizer(schema, []QuantAttr{
+		{Cuts: []float64{10, 20, 30}, Max: 49},
+		{},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedPath := filepath.Join(dir, "seed.rec")
+	w, err := CreateQuantFile(seedPath, q)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for r := 0; r < 50; r++ {
+		if err := w.Append([]float64{float64(r), float64(r % 2)}, r%2); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(append(append([]byte(nil), raw...), 0xff, 0xfe))
+	f.Add([]byte(magicQ1))
+	f.Add([]byte(magicQ1 + "\xff\xff\xff\xff"))
+	f.Add([]byte(magicQ1 + "\x10\x00\x00\x00{\"schema\":null}"))
+	f.Add([]byte(magicQ1 + "\x14\x00\x00\x00{\"quant\":[{},{},{}]}"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "in.rec")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		qf, err := OpenQuantFile(path)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		// Accepted stores must scan without panicking; errors are fine.
+		_ = qf.ScanCodes(func(int, []uint16, int) error { return nil })
+		_ = qf.Scan(func(int, []float64, int) error { return nil })
+		var st Stats
+		_ = qf.ScanCodesRange(1, qf.NumRecords(), &st, func(int, []uint16, int) error { return nil })
+	})
+}
+
+// FuzzQuantRoundTrip drives arbitrary raw records through quantize → write →
+// reopen → decode and checks the bin-coding identities: stored codes equal
+// direct encoding, labels survive, and representatives re-encode to the same
+// codes. This exercises both code widths and the record/page spanning logic.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(float64(1), float64(-3), uint8(0), uint8(7))
+	f.Add(float64(10), float64(1e9), uint8(1), uint8(200))
+	f.Add(float64(-1e-9), float64(35), uint8(2), uint8(255))
+	f.Add(math.MaxFloat64, -math.MaxFloat64, uint8(1), uint8(3))
+
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "narrow", Kind: dataset.Numeric},
+			{Name: "wide", Kind: dataset.Numeric},
+			{Name: "cat", Kind: dataset.Categorical, Values: []string{"a", "b", "c"}},
+		},
+		Classes: []string{"n", "y"},
+	}
+	wideCuts := make([]float64, 400)
+	for i := range wideCuts {
+		wideCuts[i] = float64(i) * 2.5
+	}
+	f.Fuzz(func(t *testing.T, v0, v1 float64, cat, n8 uint8) {
+		if math.IsNaN(v0) || math.IsNaN(v1) {
+			t.Skip()
+		}
+		q, err := NewQuantizer(schema, []QuantAttr{
+			{Cuts: []float64{-10, 0, 1, 64}, Max: 65},
+			{Cuts: wideCuts, Max: wideCuts[len(wideCuts)-1] + 1},
+			{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int(n8)%200 + 1
+		path := filepath.Join(t.TempDir(), "rt.rec")
+		w, err := CreateQuantFile(path, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]float64, n)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			rows[i] = []float64{v0 + float64(i), v1 - float64(i)*0.5, float64(int(cat) % 3)}
+			labels[i] = i % 2
+			if err := w.Append(rows[i], labels[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		qf, err := OpenQuantFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint16, 3)
+		re := make([]uint16, 3)
+		vals := make([]float64, 3)
+		count := 0
+		err = qf.ScanCodes(func(rid int, codes []uint16, label int) error {
+			q.Encode(rows[rid], want)
+			for a := range codes {
+				if codes[a] != want[a] {
+					t.Fatalf("record %d attr %d: code %d, want %d", rid, a, codes[a], want[a])
+				}
+			}
+			if label != labels[rid] {
+				t.Fatalf("record %d: label %d, want %d", rid, label, labels[rid])
+			}
+			qf.Quantizer().Decode(codes, vals)
+			qf.Quantizer().Encode(vals, re)
+			for a := range re {
+				if re[a] != codes[a] {
+					t.Fatalf("record %d attr %d: representative re-encodes to %d, want %d", rid, a, re[a], codes[a])
+				}
+			}
+			count++
+			return nil
+		})
+		if err != nil || count != n {
+			t.Fatalf("scan err=%v count=%d want=%d", err, count, n)
+		}
+	})
+}
