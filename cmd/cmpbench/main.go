@@ -28,7 +28,7 @@ import (
 	"cmpdt/internal/synth"
 )
 
-var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest", "serve", "buildq"}
+var experimentNames = []string{"table1", "fig2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "trees", "accuracy", "curve", "infer", "cache", "forest", "serve", "buildq", "stream"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experimentNames, ", "))
@@ -238,6 +238,25 @@ func main() {
 					return err
 				}
 				if err := experiments.WriteBuildqJSON(f, res); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+			return nil
+		case "stream":
+			res, err := opts.StreamBench()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Stream: online Hoeffding builder ingest, convergence, and snapshot compile ==")
+			experiments.PrintStreamBench(os.Stdout, res)
+			if *inferJSON != "" {
+				f, err := os.Create(*inferJSON)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteStreamJSON(f, res); err != nil {
 					f.Close()
 					return err
 				}

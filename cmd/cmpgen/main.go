@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,12 +36,13 @@ func main() {
 	csv := flag.Bool("csv", false, "write CSV to stdout instead of a binary store")
 	timeout := flag.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
 	metricsJSON := flag.String("metrics-json", "", `write generation metrics as JSON to this path ("-" for stderr)`)
+	schemaOut := flag.String("schema-out", "", "also write the workload's schema as JSON to this path (for cmpstream -schema)")
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
-	if err := run(ctx, *fn, *statlog, *n, *seed, *noise, *out, *metricsJSON, *csv, os.Stdout); err != nil {
+	if err := run(ctx, *fn, *statlog, *n, *seed, *noise, *out, *metricsJSON, *schemaOut, *csv, os.Stdout); err != nil {
 		stop()
 		cli.Fatal("cmpgen", err)
 	}
@@ -96,12 +98,27 @@ func writeGenMetrics(path, workload string, records int, seed int64, out string,
 	return f.Close()
 }
 
-func run(ctx context.Context, fnName, statlog string, n int, seed int64, noise float64, out, metricsJSON string, csv bool, stdout io.Writer) error {
+// writeSchema serializes a schema as indented JSON, the shape cmpstream's
+// -schema flag parses back.
+func writeSchema(path string, s *dataset.Schema) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+func run(ctx context.Context, fnName, statlog string, n int, seed int64, noise float64, out, metricsJSON, schemaOut string, csv bool, stdout io.Writer) error {
 	start := time.Now()
 	if statlog != "" {
 		tbl, err := synth.Statlog(statlog, seed)
 		if err != nil {
 			return err
+		}
+		if schemaOut != "" {
+			if err := writeSchema(schemaOut, tbl.Schema()); err != nil {
+				return err
+			}
 		}
 		if csv {
 			if err := tbl.WriteCSV(stdout); err != nil {
@@ -129,6 +146,11 @@ func run(ctx context.Context, fnName, statlog string, n int, seed int64, noise f
 	fn, err := synth.ParseFunc(fnName)
 	if err != nil {
 		return err
+	}
+	if schemaOut != "" {
+		if err := writeSchema(schemaOut, synth.Schema()); err != nil {
+			return err
+		}
 	}
 	if csv {
 		tbl := dataset.MustNew(synth.Schema())

@@ -3,17 +3,21 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"cmpdt/internal/dataset"
 	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
 )
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), "2", "", 50, 1, 0, "", "", true, &buf); err != nil {
+	if err := run(context.Background(), "2", "", 50, 1, 0, "", "", "", true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -27,7 +31,7 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunBinaryStore(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "f7.rec")
-	if err := run(context.Background(), "7", "", 200, 3, 0, path, "", false, nil); err != nil {
+	if err := run(context.Background(), "7", "", 200, 3, 0, path, "", "", false, nil); err != nil {
 		t.Fatal(err)
 	}
 	f, err := storage.OpenFile(path)
@@ -41,7 +45,7 @@ func TestRunBinaryStore(t *testing.T) {
 
 func TestRunStatlog(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), "", "segment", 0, 1, 0, "", "", true, &buf); err != nil {
+	if err := run(context.Background(), "", "segment", 0, 1, 0, "", "", "", true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Count(buf.String(), "\n")
@@ -50,14 +54,37 @@ func TestRunStatlog(t *testing.T) {
 	}
 }
 
+// TestRunSchemaOut: -schema-out writes a schema JSON that parses back into
+// the generating schema.
+func TestRunSchemaOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.json")
+	if err := run(context.Background(), "2", "", 5, 1, 0, "", "", path, true, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &dataset.Schema{}
+	if err := json.Unmarshal(data, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttrs() != synth.Schema().NumAttrs() || s.NumClasses() != synth.Schema().NumClasses() {
+		t.Errorf("schema shape %d/%d differs from generator", s.NumAttrs(), s.NumClasses())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "99", "", 10, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), "99", "", 10, 1, 0, "", "", "", true, &bytes.Buffer{}); err == nil {
 		t.Error("bad function accepted")
 	}
-	if err := run(context.Background(), "2", "", 10, 1, 0, "", "", false, nil); err == nil {
+	if err := run(context.Background(), "2", "", 10, 1, 0, "", "", "", false, nil); err == nil {
 		t.Error("missing -out accepted")
 	}
-	if err := run(context.Background(), "", "nope", 0, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), "", "nope", 0, 1, 0, "", "", "", true, &bytes.Buffer{}); err == nil {
 		t.Error("bad statlog name accepted")
 	}
 }
@@ -67,7 +94,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := run(ctx, "2", "", 100_000, 1, 0, "", "", true, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, "2", "", 100_000, 1, 0, "", "", "", true, &bytes.Buffer{}); err == nil {
 		t.Fatal("cancelled generation should return an error")
 	} else if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"cmpdt/internal/stream"
+	"cmpdt/internal/synth"
+)
+
+// StreamResult is the online-training baseline BENCH_stream.json records:
+// ingest throughput of the Hoeffding builder across worker counts, the
+// snapshot compile cost, convergence latency, and the differential check
+// that worker count does not change the trained tree.
+type StreamResult struct {
+	Workload   string `json:"workload"`
+	Records    int    `json:"records"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// RecordsToFirstSplit is the 1-based record index of the first
+	// committed split: the builder's convergence latency.
+	RecordsToFirstSplit int64 `json:"records_to_first_split"`
+	// SplitsCommitted is the final tree's split count.
+	SplitsCommitted int64 `json:"splits_committed"`
+	// SnapshotCompileNs is the wall time of compiling the final tree into
+	// the serialized model form (one mid-stream publication's CPU cost).
+	SnapshotCompileNs int64 `json:"snapshot_compile_ns"`
+	// SnapshotsIdentical is true when the builds at workers {1, 2, 8}
+	// serialize to byte-identical models.
+	SnapshotsIdentical bool `json:"snapshots_identical"`
+	// Rows reuses the shared benchmark row shape so benchdiff gates this
+	// file with the same key scheme as the other baselines. Set is
+	// "stream"; Mode is "ingest" (full-stream wall time over record count,
+	// at workers {1, 2, 8}) or "compile" (snapshot compile + encode, per
+	// record). SpeedupVsPointer holds serial-ingest-over-this, so the
+	// workers=1 ingest row reads 1.0.
+	Rows []InferRow `json:"rows"`
+}
+
+// StreamBench measures the online builder end to end: a Function-2 stream
+// of o.N records is ingested at workers {1, 2, 8} (fresh builder each time,
+// identical arrival order), then the final snapshot is compiled and
+// serialized. Allocations are not metered per mode — ingestion retains
+// state by design (sketches, histograms), so a per-record alloc gate would
+// only race the tree's growth schedule; the rows report 0.
+func (o Opts) StreamBench() (*StreamResult, error) {
+	n := o.N
+	tbl := synth.Generate(synth.F2, n, o.Seed)
+	out := &StreamResult{
+		Workload:   synth.F2.String(),
+		Records:    n,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Each configuration ingests the full stream ingestReps times through a
+	// fresh builder and keeps the fastest run: a single 0.1s window is too
+	// noisy for a 25% CI gate, the minimum is stable.
+	const ingestReps = 3
+	var serialNs float64
+	var snaps [][]byte
+	var last *stream.Builder
+	for _, workers := range []int{1, 2, 8} {
+		ns := 0.0
+		for rep := 0; rep < ingestReps; rep++ {
+			b, err := stream.New(stream.Config{Schema: synth.Schema(), Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			ctx := context.Background()
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if err := b.Ingest(ctx, tbl.Row(i), tbl.Label(i)); err != nil {
+					return nil, fmt.Errorf("experiments: stream ingest workers=%d: %w", workers, err)
+				}
+			}
+			if err := b.Flush(ctx); err != nil {
+				return nil, err
+			}
+			if v := float64(time.Since(start).Nanoseconds()) / float64(n); rep == 0 || v < ns {
+				ns = v
+			}
+			if rep == ingestReps-1 {
+				var buf bytes.Buffer
+				if err := b.Snapshot().WriteJSON(&buf); err != nil {
+					return nil, err
+				}
+				snaps = append(snaps, buf.Bytes())
+				last = b
+			}
+		}
+		if workers == 1 {
+			serialNs = ns
+		}
+		out.Rows = append(out.Rows, InferRow{
+			Set:              "stream",
+			Mode:             "ingest",
+			Workers:          workers,
+			NsPerRecord:      ns,
+			MRecordsPerSec:   1e3 / ns,
+			SpeedupVsPointer: serialNs / ns,
+		})
+	}
+
+	out.SnapshotsIdentical = true
+	for _, s := range snaps[1:] {
+		if !bytes.Equal(s, snaps[0]) {
+			out.SnapshotsIdentical = false
+		}
+	}
+	st := last.Stats()
+	out.RecordsToFirstSplit = st.FirstSplitAt
+	out.SplitsCommitted = st.Splits
+
+	// Snapshot compile cost: compile + serialize the final tree repeatedly
+	// and keep the fastest run (same noise argument as ingest).
+	const compileReps = 32
+	var compileNs int64
+	for i := 0; i < compileReps; i++ {
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := last.Snapshot().WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		if v := time.Since(start).Nanoseconds(); i == 0 || v < compileNs {
+			compileNs = v
+		}
+	}
+	out.SnapshotCompileNs = compileNs
+	compilePerRecord := float64(out.SnapshotCompileNs) / float64(n)
+	out.Rows = append(out.Rows, InferRow{
+		Set:              "stream",
+		Mode:             "compile",
+		Workers:          1,
+		NsPerRecord:      compilePerRecord,
+		MRecordsPerSec:   1e3 / compilePerRecord,
+		SpeedupVsPointer: 1,
+	})
+	return out, nil
+}
+
+// PrintStreamBench renders the result as an aligned table.
+func PrintStreamBench(w io.Writer, r *StreamResult) {
+	fmt.Fprintf(w, "workload %s, %d records, GOMAXPROCS %d\n",
+		r.Workload, r.Records, r.GOMAXPROCS)
+	fmt.Fprintf(w, "snapshots identical across workers: %v, first split at record %d, %d splits, compile %.2fms\n",
+		r.SnapshotsIdentical, r.RecordsToFirstSplit, r.SplitsCommitted,
+		float64(r.SnapshotCompileNs)/1e6)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tworkers\tns/record\tMrec/s\tspeedup vs serial")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2f\t%.2fx\n",
+			row.Mode, row.Workers, row.NsPerRecord, row.MRecordsPerSec, row.SpeedupVsPointer)
+	}
+	tw.Flush()
+}
+
+// WriteStreamJSON writes the machine-readable baseline consumed by
+// make bench-stream (BENCH_stream.json).
+func WriteStreamJSON(w io.Writer, r *StreamResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -13,7 +13,8 @@ import (
 //
 // v3 added the serve block (null outside cmpserve).
 // v4 added the quant block (always present; enabled=false on raw builds).
-const ReportSchemaVersion = 4
+// v5 added the stream block (null outside cmpstream).
+const ReportSchemaVersion = 5
 
 // PhaseStat is one phase's accumulated time.
 type PhaseStat struct {
@@ -127,6 +128,29 @@ type ServeSummary struct {
 	P99Ns int64 `json:"p99_ns"`
 }
 
+// StreamSummary is the online-training block of the report, filled only by
+// cmd/cmpstream (null elsewhere). It mirrors stream.Stats plus the snapshot
+// publication count.
+type StreamSummary struct {
+	RecordsIngested int64 `json:"records_ingested"`
+	SplitsCommitted int64 `json:"splits_committed"`
+	// LeafFreezes counts warming leaves whose cut points were fixed;
+	// Regrows counts stale subtrees collapsed by the drift handler.
+	LeafFreezes int64 `json:"leaf_freezes"`
+	Regrows     int64 `json:"regrows"`
+	// SnapshotsPublished counts models committed to the publish directory.
+	SnapshotsPublished int64 `json:"snapshots_published"`
+	// RecordsToFirstSplit is the 1-based record index of the first committed
+	// split (0 if the stream ended before any).
+	RecordsToFirstSplit int64 `json:"records_to_first_split"`
+	TreeNodes           int   `json:"tree_nodes"`
+	TreeLeaves          int   `json:"tree_leaves"`
+	TreeDepth           int   `json:"tree_depth"`
+	// SketchBytes approximates live sketch memory: warming GK summaries and
+	// buffers plus frozen histograms.
+	SketchBytes int64 `json:"sketch_bytes"`
+}
+
 // Report is the machine-readable observability report: the -metrics-json
 // contract. Key set and nesting are stable for a given SchemaVersion;
 // timing values (ns fields, imbalance) vary run to run, everything else is
@@ -146,6 +170,8 @@ type Report struct {
 	Metrics RegistrySnapshot `json:"metrics"`
 	// Serve is the serving-daemon summary; null outside cmd/cmpserve.
 	Serve *ServeSummary `json:"serve"`
+	// Stream is the online-training summary; null outside cmd/cmpstream.
+	Stream *StreamSummary `json:"stream"`
 }
 
 // Snapshot assembles the collector's rounds into a Report. Build and IO

@@ -114,6 +114,72 @@ func (s *GK) Query(phi float64) float64 {
 	return s.tuples[len(s.tuples)-1].v
 }
 
+// Merge absorbs another sketch into s, leaving other unchanged. The result
+// summarizes the union of both inputs: tuple lists are interleaved in value
+// order (each side's rank uncertainty carries over, so the merged summary
+// keeps the larger of the two epsilon*n error radii) and then recompressed
+// against the combined count's budget. Merging is what makes the sketch a
+// streaming primitive: parallel ingestion shards can quantile their own
+// slices independently and combine them in a deterministic order, the
+// mergeable-summary model of the streaming split-finding literature. Both
+// sketches must share the same epsilon.
+func (s *GK) Merge(other *GK) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.eps != s.eps {
+		return errors.New("quantile: cannot merge GK sketches with different epsilons")
+	}
+	if s.n == 0 {
+		s.n = other.n
+		s.tuples = append(s.tuples[:0], other.tuples...)
+		s.sinceCompress = 0
+		return nil
+	}
+	// Interleave in value order. A tuple's rank uncertainty relative to the
+	// union grows by the span of the other summary's next tuple (its rank
+	// there is known only to within that tuple's g+delta), the standard
+	// mergeable-summary adjustment.
+	spanAfter := func(tuples []gkTuple, idx int) int {
+		if idx >= len(tuples) {
+			return 0
+		}
+		d := tuples[idx].g + tuples[idx].delta - 1
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	merged := make([]gkTuple, 0, len(s.tuples)+len(other.tuples))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(other.tuples) {
+		var t gkTuple
+		if j >= len(other.tuples) || (i < len(s.tuples) && s.tuples[i].v <= other.tuples[j].v) {
+			t = s.tuples[i]
+			t.delta += spanAfter(other.tuples, j)
+			i++
+		} else {
+			t = other.tuples[j]
+			t.delta += spanAfter(s.tuples, i)
+			j++
+		}
+		merged = append(merged, t)
+	}
+	s.tuples = merged
+	s.n += other.n
+	s.sinceCompress = 0
+	s.compress()
+	return nil
+}
+
+// ByteSize approximates the sketch's in-memory footprint: the retained
+// tuples plus the fixed header. Streaming builders report the sum over
+// every live sketch as their sketch-memory gauge.
+func (s *GK) ByteSize() int64 {
+	const tupleBytes = 24 // three machine words: v, g, delta
+	return int64(cap(s.tuples))*tupleBytes + 48
+}
+
 // Min and Max return the extreme values seen (exact: GK never merges the
 // first or last tuple away).
 func (s *GK) Min() float64 {

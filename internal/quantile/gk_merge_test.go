@@ -1,0 +1,121 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestGKMergeRankError: a sketch assembled by merging per-shard sketches
+// must answer quantile queries within the epsilon*n rank guarantee of the
+// union, the mergeable-summary property parallel ingestion relies on.
+func TestGKMergeRankError(t *testing.T) {
+	const eps = 0.01
+	const n = 60_000
+	const shards = 7
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1000
+	}
+
+	parts := make([]*GK, shards)
+	for i := range parts {
+		parts[i], _ = NewGK(eps)
+	}
+	for i, v := range vals {
+		parts[i%shards].Add(v)
+	}
+	merged, _ := NewGK(eps)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != n {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), n)
+	}
+
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	// Merging interleaves summaries whose per-tuple rank uncertainty came
+	// from different stream prefixes; allow twice the single-stream radius,
+	// the classic bound for one level of GK merging.
+	allow := int(2*eps*float64(n)) + 1
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := merged.Query(phi)
+		rank := sort.SearchFloat64s(sorted, got)
+		target := int(math.Ceil(phi * float64(n)))
+		if diff := rank - target; diff < -allow || diff > allow {
+			t.Errorf("phi=%.2f: value %g has rank %d, want %d +/- %d", phi, got, rank, target, allow)
+		}
+	}
+	if merged.Min() != sorted[0] || merged.Max() != sorted[n-1] {
+		t.Errorf("extremes: got [%g, %g], want [%g, %g]", merged.Min(), merged.Max(), sorted[0], sorted[n-1])
+	}
+}
+
+// TestGKMergeDeterministic: merging the same shard sketches in the same
+// order twice yields byte-for-byte identical summaries — the property the
+// streaming builder's worker-count invariance rests on.
+func TestGKMergeDeterministic(t *testing.T) {
+	build := func() *GK {
+		rng := rand.New(rand.NewSource(7))
+		parts := make([]*GK, 4)
+		for i := range parts {
+			parts[i], _ = NewGK(0.02)
+		}
+		for i := 0; i < 10_000; i++ {
+			parts[i%4].Add(rng.Float64())
+		}
+		out, _ := NewGK(0.02)
+		for _, p := range parts {
+			if err := out.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	a, b := build(), build()
+	if a.n != b.n || len(a.tuples) != len(b.tuples) {
+		t.Fatalf("shape differs: n %d vs %d, tuples %d vs %d", a.n, b.n, len(a.tuples), len(b.tuples))
+	}
+	for i := range a.tuples {
+		if a.tuples[i] != b.tuples[i] {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, a.tuples[i], b.tuples[i])
+		}
+	}
+}
+
+// TestGKMergeEdgeCases covers empty operands and epsilon mismatches.
+func TestGKMergeEdgeCases(t *testing.T) {
+	a, _ := NewGK(0.01)
+	b, _ := NewGK(0.01)
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merge nil: %v", err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Errorf("merge empty into empty: %v", err)
+	}
+	b.Add(1)
+	b.Add(2)
+	if err := a.Merge(b); err != nil {
+		t.Errorf("merge into empty: %v", err)
+	}
+	if a.Count() != 2 || a.Min() != 1 || a.Max() != 2 {
+		t.Errorf("merge into empty: count %d min %g max %g", a.Count(), a.Min(), a.Max())
+	}
+	// b is untouched by being merged from.
+	if b.Count() != 2 {
+		t.Errorf("merge source mutated: count %d", b.Count())
+	}
+	c, _ := NewGK(0.05)
+	c.Add(3)
+	if err := a.Merge(c); err == nil {
+		t.Error("expected an epsilon-mismatch error")
+	}
+	if a.ByteSize() <= 0 {
+		t.Error("ByteSize must be positive for a live sketch")
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/stream"
+	"cmpdt/internal/synth"
+)
+
+// TestPublishWatchReload is the end-to-end streaming-to-serving proof: an
+// online builder publishes snapshots into a SnapshotDir while the server
+// hot-reloads each latest.json under concurrent prediction traffic. Every
+// request must succeed (nothing but admission sheds is tolerated, and with
+// this queue depth none are expected), every reload must succeed, and the
+// served model version must advance with the publications.
+func TestPublishWatchReload(t *testing.T) {
+	const (
+		streamN    = 30_000
+		publishes  = 5
+		clients    = 4
+		chunk      = streamN / publishes
+		queueDepth = 1024
+	)
+	dir, err := storage.OpenSnapshotDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := synth.Generate(synth.F2, streamN, 11)
+	probe := synth.Generate(synth.F2, 64, 12)
+
+	b, err := stream.New(stream.Config{Schema: synth.Schema(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	publish := func() string {
+		t.Helper()
+		if err := b.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		w, err := dir.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Snapshot().WriteJSON(w); err != nil {
+			w.Abort()
+			t.Fatal(err)
+		}
+		if _, err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return dir.LatestPath()
+	}
+
+	// Seed the server with an initial (single-leaf) snapshot.
+	s := newTestServer(t, Config{QueueDepth: queueDepth}, publish())
+
+	var stop atomic.Bool
+	var served, failed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				rec := probe.Row((i*clients + c) % probe.NumRecords())
+				_, _, err := s.Submit(ctx, [][]float64{rec})
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrShed):
+					// Admission shedding is the one tolerated failure.
+				default:
+					failed.Add(1)
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	baseVersion := s.Model().Version
+	for p := 0; p < publishes; p++ {
+		for i := p * chunk; i < (p+1)*chunk; i++ {
+			if err := b.Ingest(ctx, tbl.Row(i), tbl.Label(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Reload(publish()); err != nil {
+			t.Fatalf("reload after publish %d: %v", p, err)
+		}
+		time.Sleep(20 * time.Millisecond) // let traffic hit the new version
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d requests failed with non-shed errors", n)
+	}
+	if n := served.Load(); n < clients {
+		t.Fatalf("only %d requests served", n)
+	}
+	if got := s.Model().Version; got != baseVersion+publishes {
+		t.Errorf("model version %d after %d publishes, want %d", got, publishes, baseVersion+publishes)
+	}
+	snaps, err := dir.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != publishes+1 {
+		t.Errorf("archive holds %d snapshots, want %d", len(snaps), publishes+1)
+	}
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SnapshotDir publishes model snapshots into a directory with the same
+// lifecycle discipline as Writer: payloads land in a temp file first, and
+// exactly one of Commit (publish atomically) or Abort (discard) finishes
+// each snapshot. A committed snapshot appears twice — as the immutable
+// archive entry snapshot-NNNNNN.json and as latest.json, replaced by
+// rename so a reader (cmpserve's reload path) never observes a partial
+// file. The online builder publishes through this type while training
+// continues.
+type SnapshotDir struct {
+	dir string
+	seq int
+}
+
+// LatestSnapshotName is the stable filename a consumer watches: every
+// Commit atomically repoints it at the newest snapshot.
+const LatestSnapshotName = "latest.json"
+
+const snapshotPrefix = "snapshot-"
+
+// OpenSnapshotDir creates (if needed) and opens a snapshot directory,
+// resuming the sequence number after any snapshots already present so a
+// restarted publisher never overwrites history.
+func OpenSnapshotDir(dir string) (*SnapshotDir, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	d := &SnapshotDir{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, snapshotPrefix+"%06d.json", &n); err == nil && n >= d.seq {
+			d.seq = n + 1
+		}
+	}
+	return d, nil
+}
+
+// Dir returns the directory path.
+func (d *SnapshotDir) Dir() string { return d.dir }
+
+// Seq returns the sequence number the next Commit will publish.
+func (d *SnapshotDir) Seq() int { return d.seq }
+
+// LatestPath returns the path of the stable latest.json entry (which may
+// not exist before the first Commit).
+func (d *SnapshotDir) LatestPath() string {
+	return filepath.Join(d.dir, LatestSnapshotName)
+}
+
+// Snapshots lists the committed archive entries in sequence order.
+func (d *SnapshotDir) Snapshots() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, snapshotPrefix) && strings.HasSuffix(name, ".json") {
+			out = append(out, filepath.Join(d.dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Begin starts a new snapshot. The returned writer accumulates the payload
+// in a temp file inside the directory (so the final rename cannot cross a
+// filesystem boundary); nothing is visible to consumers until Commit.
+func (d *SnapshotDir) Begin() (*SnapshotWriter, error) {
+	f, err := os.CreateTemp(d.dir, ".tmp-snapshot-*")
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotWriter{d: d, f: f}, nil
+}
+
+// SnapshotWriter accumulates one snapshot payload. Exactly one of Commit
+// or Abort must finish it; Write after either returns ErrWriterClosed.
+type SnapshotWriter struct {
+	d      *SnapshotDir
+	f      *os.File
+	closed bool
+}
+
+// Write implements io.Writer.
+func (w *SnapshotWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrWriterClosed
+	}
+	return w.f.Write(p)
+}
+
+// Commit durably publishes the snapshot: the payload is fsynced, hard-linked
+// into the archive as snapshot-NNNNNN.json, and then renamed onto
+// latest.json in one atomic step. It returns the archive path. On any
+// failure the partial files are removed and nothing is published.
+func (w *SnapshotWriter) Commit() (string, error) {
+	if w.closed {
+		return "", ErrWriterClosed
+	}
+	w.closed = true
+	tmp := w.f.Name()
+	fail := func(err error) (string, error) {
+		w.f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	archive := filepath.Join(w.d.dir, fmt.Sprintf(snapshotPrefix+"%06d.json", w.d.seq))
+	if err := os.Link(tmp, archive); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, w.d.LatestPath()); err != nil {
+		os.Remove(tmp)
+		os.Remove(archive)
+		return "", err
+	}
+	// Best-effort directory sync so the rename survives a crash; the data
+	// itself is already durable.
+	if df, err := os.Open(w.d.dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	w.d.seq++
+	return archive, nil
+}
+
+// Abort discards an unpublished snapshot, removing the temp file. Safe to
+// call after Commit (a no-op then), mirroring Writer.Abort.
+func (w *SnapshotWriter) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	tmp := w.f.Name()
+	w.f.Close()
+	os.Remove(tmp)
+}

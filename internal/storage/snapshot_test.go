@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotCommitPublishesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenSnapshotDir(filepath.Join(dir, "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, payload := range []string{"first", "second"} {
+		w, err := d.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The snapshot must be invisible until Commit.
+		if _, err := os.Stat(d.LatestPath()); i == 0 && err == nil {
+			t.Fatal("latest.json exists before the first Commit")
+		}
+		if _, err := w.Write([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		archive, err := w.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(archive)
+		if err != nil || string(got) != payload {
+			t.Fatalf("archive %s: %q, %v; want %q", archive, got, err, payload)
+		}
+		latest, err := os.ReadFile(d.LatestPath())
+		if err != nil || string(latest) != payload {
+			t.Fatalf("latest.json: %q, %v; want %q", latest, err, payload)
+		}
+	}
+	snaps, err := d.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("archive has %d snapshots, want 2: %v", len(snaps), snaps)
+	}
+	if w, _ := d.Begin(); w != nil {
+		if _, err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Seq() != 3 {
+		t.Fatalf("seq = %d, want 3", d.Seq())
+	}
+}
+
+func TestSnapshotAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	if _, err := w.Write([]byte("x")); err != ErrWriterClosed {
+		t.Fatalf("Write after Abort: %v, want ErrWriterClosed", err)
+	}
+	if _, err := w.Commit(); err != ErrWriterClosed {
+		t.Fatalf("Commit after Abort: %v, want ErrWriterClosed", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("aborted snapshot left files behind: %v", entries)
+	}
+}
+
+func TestSnapshotDirResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		w, err := d.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh publisher over the same directory continues the sequence.
+	d2, err := OpenSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Seq() != 2 {
+		t.Fatalf("resumed seq = %d, want 2", d2.Seq())
+	}
+	w, err := d2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, err := w.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(archive, "snapshot-000002.json") {
+		t.Fatalf("resumed archive name %s, want snapshot-000002.json", archive)
+	}
+}

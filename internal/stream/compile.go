@@ -1,0 +1,35 @@
+package stream
+
+import "cmpdt/internal/tree"
+
+// Snapshot compiles the current tree into the standard model form: the
+// same *tree.Tree every batch builder produces, ready for tree.Compile,
+// WriteJSON, and cmpserve's reload path. Counts are rounded
+// deterministically; a leaf that has not yet seen a record serializes
+// with its fallback class and no counts. Call Flush first so buffered
+// records are included.
+func (b *Builder) Snapshot() *tree.Tree {
+	return &tree.Tree{Root: compileNode(b.root), Schema: b.cfg.Schema}
+}
+
+func compileNode(v *snode) *tree.Node {
+	n := &tree.Node{Class: v.fallback}
+	counts := make([]int, len(v.counts))
+	total := 0
+	for c, f := range v.counts {
+		counts[c] = int(f + 0.5)
+		total += counts[c]
+	}
+	if total > 0 {
+		// SetCounts derives Class/N/Gini exactly the way the JSON decode
+		// path will, so a snapshot round-trips bit-identically.
+		n.SetCounts(counts)
+	}
+	if v.split != nil {
+		sp := *v.split
+		n.Split = &sp
+		n.Left = compileNode(v.left)
+		n.Right = compileNode(v.right)
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cmpdt/internal/synth"
+)
+
+// TestStreamCancelMidIngest: cancelling the context mid-stream must surface
+// the ctx error from the commit pass, close the builder (further Ingest and
+// Flush return ErrClosed), and join all worker goroutines.
+func TestStreamCancelMidIngest(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 2_000, 1)
+	b, err := New(Config{Schema: synth.Schema(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var ingestErr error
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if ingestErr = b.Ingest(ctx, tbl.Row(i), tbl.Label(i)); ingestErr != nil {
+			break
+		}
+	}
+	if !errors.Is(ingestErr, context.Canceled) {
+		t.Fatalf("ingest under cancelled ctx returned %v, want context.Canceled", ingestErr)
+	}
+	if err := b.Ingest(context.Background(), tbl.Row(0), tbl.Label(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after cancellation returned %v, want ErrClosed", err)
+	}
+	if err := b.Flush(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after cancellation returned %v, want ErrClosed", err)
+	}
+}
+
+// TestStreamNoGoroutineLeak: commit forks workers per batch and joins them
+// before returning, so a long run must not accumulate goroutines — on the
+// happy path or after a cancellation.
+func TestStreamNoGoroutineLeak(t *testing.T) {
+	tbl := synth.Generate(synth.F2, 12_000, 1)
+	before := runtime.NumGoroutine()
+
+	b, err := New(Config{Schema: synth.Schema(), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if err := b.Ingest(ctx, tbl.Row(i), tbl.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled run must join its workers too.
+	b2, err := New(Config{Schema: synth.Schema(), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	for i := 0; i < tbl.NumRecords(); i++ {
+		if err := b2.Ingest(cctx, tbl.Row(i), tbl.Label(i)); err != nil {
+			break
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after builders finished",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamDriftRegrow: with a half-life configured, an abrupt concept flip
+// must trigger at least one subtree regrow and the tree must recover
+// accuracy on the new concept.
+func TestStreamDriftRegrow(t *testing.T) {
+	const n = 24_000
+	old := synth.Generate(synth.F2, n, 1)
+	next := synth.Generate(synth.F3, n, 1)
+	test := synth.Generate(synth.F3, 6_000, 2)
+
+	b, err := New(Config{Schema: synth.Schema(), Workers: 2, HalfLife: 4_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ingestTable(t, b, old)
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	preAcc := accuracy(b.Snapshot(), test)
+
+	ingestTable(t, b, next)
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	postAcc := accuracy(b.Snapshot(), test)
+	t.Logf("concept flip F2->F3: pre %.4f post %.4f (regrows %d, splits %d)",
+		preAcc, postAcc, st.Regrows, st.Splits)
+
+	if st.Regrows == 0 {
+		t.Error("concept flip committed no regrows")
+	}
+	if postAcc < 0.95 {
+		t.Errorf("post-flip accuracy %.4f has not recovered (want >= 0.95)", postAcc)
+	}
+	if postAcc < preAcc {
+		t.Errorf("post-flip accuracy %.4f below pre-flip %.4f", postAcc, preAcc)
+	}
+}

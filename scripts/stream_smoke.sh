@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the streaming training path:
+#
+#   1. generate an Agrawal Function-2 stream as CSV (plus its schema JSON)
+#   2. run cmpstream over it, publishing snapshots every 20k records
+#   3. assert the publish directory holds >= 1 archive snapshot plus
+#      latest.json, and the metrics report carries the stream block
+#   4. start cmpserve on the published latest.json and score a batch
+#   5. hot-reload the model mid-traffic and assert every request stayed 200
+#   6. SIGTERM the daemon and assert a clean exit-0 drain
+#
+# Run via `make stream-smoke` or directly: bash scripts/stream_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK=$(mktemp -d)
+SERVE_PID=""
+TRAFFIC_PID=""
+cleanup() {
+  [ -n "$TRAFFIC_PID" ] && kill -9 "$TRAFFIC_PID" 2>/dev/null || true
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+DRAIN_BUDGET=10 # seconds
+
+echo "== build =="
+go build -o "$WORK/cmpgen" ./cmd/cmpgen
+go build -o "$WORK/cmpstream" ./cmd/cmpstream
+go build -o "$WORK/cmpserve" ./cmd/cmpserve
+
+echo "== generate =="
+"$WORK/cmpgen" -func 2 -n 60000 -seed 1 -csv -schema-out "$WORK/schema.json" >"$WORK/stream.csv"
+[ -s "$WORK/schema.json" ] || { echo "FAIL: -schema-out wrote nothing"; exit 1; }
+
+echo "== stream =="
+"$WORK/cmpstream" -in "$WORK/stream.csv" -schema "$WORK/schema.json" \
+  -publish "$WORK/models" -snapshot-every 20000 \
+  -metrics-json "$WORK/stream_metrics.json" 2>"$WORK/stream.log"
+cat "$WORK/stream.log"
+
+SNAPS=$(ls "$WORK/models"/snapshot-*.json 2>/dev/null | wc -l)
+[ "$SNAPS" -ge 1 ] || { echo "FAIL: no snapshots published"; ls -la "$WORK/models"; exit 1; }
+[ -s "$WORK/models/latest.json" ] || { echo "FAIL: latest.json missing"; exit 1; }
+echo "published $SNAPS snapshots"
+grep -q '"records_ingested": 60000' "$WORK/stream_metrics.json" || {
+  echo "FAIL: metrics lack records_ingested 60000"; cat "$WORK/stream_metrics.json"; exit 1; }
+grep -q '"splits_committed"' "$WORK/stream_metrics.json" || {
+  echo "FAIL: metrics lack the stream block"; exit 1; }
+
+echo "== start cmpserve on the published model =="
+"$WORK/cmpserve" -model "$WORK/models/latest.json" -addr 127.0.0.1:0 \
+  -drain "${DRAIN_BUDGET}s" 2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^cmpserve: listening on \(.*\)$/\1/p' "$WORK/serve.log" | head -1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: daemon died at startup"; cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: never saw the listen address"; cat "$WORK/serve.log"; exit 1; }
+BASE="http://$ADDR"
+echo "daemon at $BASE (pid $SERVE_PID)"
+
+READY=0
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then READY=1; break; fi
+  sleep 0.1
+done
+[ "$READY" = 1 ] || { echo "FAIL: /readyz never went 200"; cat "$WORK/serve.log"; exit 1; }
+
+echo "== score =="
+BATCH='{"records":[[60000,0,45,2,5,3,300000,10,100000],[30000,50000,25,1,2,7,500000,20,400000]]}'
+curl -fsS -X POST -d "$BATCH" "$BASE/predict/batch" >"$WORK/out1.json"
+grep -q '"classes":\["Group' "$WORK/out1.json" || {
+  echo "FAIL: batch response lacks class names"; cat "$WORK/out1.json"; exit 1; }
+echo "batch answer: $(cat "$WORK/out1.json")"
+
+echo "== mid-traffic reload =="
+: >"$WORK/codes.txt"
+(
+  for _ in $(seq 1 60); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST -d "$BATCH" \
+      "$BASE/predict/batch" >>"$WORK/codes.txt" 2>/dev/null || true
+  done
+) &
+TRAFFIC_PID=$!
+sleep 0.2
+curl -fsS -X POST "$BASE/-/reload" >"$WORK/reload.json" || {
+  echo "FAIL: /-/reload errored"; cat "$WORK/reload.json" 2>/dev/null; exit 1; }
+wait "$TRAFFIC_PID"
+TRAFFIC_PID=""
+BAD=$(grep -cv '^200$' "$WORK/codes.txt" || true)
+TOTAL=$(wc -l <"$WORK/codes.txt")
+[ "$TOTAL" -ge 1 ] || { echo "FAIL: no traffic completed during the reload"; exit 1; }
+[ "$BAD" = 0 ] || {
+  echo "FAIL: $BAD of $TOTAL requests were non-200 across the reload"
+  sort "$WORK/codes.txt" | uniq -c; exit 1; }
+grep -q '"model_version":2' "$WORK/reload.json" || {
+  echo "FAIL: reload did not advance to version 2"; cat "$WORK/reload.json"; exit 1; }
+echo "$TOTAL requests all 200 across the reload"
+
+echo "== drain =="
+kill -TERM "$SERVE_PID"
+EXIT_CODE=-1
+for _ in $(seq 1 $((DRAIN_BUDGET * 10))); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    wait "$SERVE_PID" && EXIT_CODE=0 || EXIT_CODE=$?
+    break
+  fi
+  sleep 0.1
+done
+SERVE_PID=""
+[ "$EXIT_CODE" = 0 ] || {
+  echo "FAIL: daemon exit code $EXIT_CODE (want 0 within ${DRAIN_BUDGET}s)"; cat "$WORK/serve.log"; exit 1; }
+
+echo "stream smoke: OK"
