@@ -36,6 +36,7 @@ import (
 	"cmpdt/internal/obs"
 	"cmpdt/internal/prune"
 	"cmpdt/internal/quantile"
+	"cmpdt/internal/stats"
 	"cmpdt/internal/storage"
 	"cmpdt/internal/tree"
 )
@@ -59,6 +60,12 @@ type qnode struct {
 
 	hists []*histogram.Hist1D // per-attr; with mats: categorical only
 	mats  []*histogram.Matrix // CMP-B: (xAttr, y) per numeric y != xAttr
+	cmats []*histogram.Matrix // stats cache only: (xAttr, cat) per categorical
+
+	// prefilled: the accumulators were installed from the statistics cache
+	// before this round's scan; route skips accumulation for this node and
+	// its decision reads the cached (exact) statistics instead.
+	prefilled bool
 
 	buffer       buffer // collect rows: codes widened to float64
 	collectRound int
@@ -131,6 +138,10 @@ type qbuilder struct {
 	numeric []int
 	allowed []bool
 	useMats bool
+	// inheritX: children of on-axis second splits may inherit the axis
+	// (predictChildXOnAxis). Enabled only when no allowed attribute is
+	// categorical — see that function for why.
+	inheritX bool
 
 	nid      []int32
 	nodes    []*qnode
@@ -139,12 +150,13 @@ type qbuilder struct {
 	collects []*qnode
 	byTN     map[*tree.Node]*qnode
 
-	root  *qnode
-	round int
-	stats Stats
-	rng   *rand.Rand
-	obs   *obs.Collector
-	row   []float64 // serial-scan scratch: one code row widened to float64
+	root   *qnode
+	round  int
+	stats  Stats
+	rng    *rand.Rand
+	obs    *obs.Collector
+	scache *stats.Cache // cross-level sufficient-statistics cache; nil = off
+	row    []float64    // serial-scan scratch: one code row widened to float64
 }
 
 // buildQuantized is BuildContext's bin-coded branch. cfg is already
@@ -187,6 +199,13 @@ func buildQuantized(ctx context.Context, src storage.Source, cfg Config) (*Resul
 	// Linear-combination splits are not searched in code space; CMPFull
 	// quantized builds behave as CMP-B (see Config.Quantize).
 	b.useMats = cfg.Algorithm != CMPS && len(b.numeric) >= 2
+	b.inheritX = true
+	for a := 0; a < b.na; a++ {
+		if schema.Attrs[a].Kind == dataset.Categorical && b.attrAllowed(a) {
+			b.inheritX = false
+		}
+	}
+	b.initStatsCache()
 	b.row = make([]float64, b.na)
 
 	b.obs.StartRound(0) // round 0: quantization (discretize + encode)
@@ -238,6 +257,7 @@ func buildQuantized(ctx context.Context, src storage.Source, cfg Config) (*Resul
 	t := &tree.Tree{Root: b.root.tn, Schema: b.schema}
 	b.stats.ObliqueSplits = t.CountLinearSplits()
 	b.stats.DenseScanRounds = b.stats.Rounds
+	b.finishStatsCache()
 
 	io := b.qsrc.Stats()
 	if _, same := src.(storage.CodeSource); !same {
@@ -502,7 +522,7 @@ func (b *qbuilder) makeRoot() {
 		hi[a] = b.q.Bins(a)
 	}
 	b.root = b.newQNode(0, lo, hi, x)
-	b.root.hists, b.root.mats = b.makeQHists(b.root)
+	b.root.hists, b.root.mats, b.root.cmats = b.makeQHists(b.root)
 	b.queueScanned(b.root)
 }
 
@@ -524,9 +544,10 @@ func (b *qbuilder) newQNode(depth int, lo, hi []int, xAttr int) *qnode {
 }
 
 // makeQHists allocates a building node's dense accumulators over its code
-// windows. Parallel scan workers call it again with the same geometry for
-// their private shards.
-func (b *qbuilder) makeQHists(n *qnode) ([]*histogram.Hist1D, []*histogram.Matrix) {
+// windows (plus the cache-only categorical matrices, see makeCMats).
+// Parallel scan workers call it again with the same geometry for their
+// private shards.
+func (b *qbuilder) makeQHists(n *qnode) ([]*histogram.Hist1D, []*histogram.Matrix, []*histogram.Matrix) {
 	if b.useMats {
 		mats := make([]*histogram.Matrix, b.na)
 		xw := n.width(n.xAttr)
@@ -542,7 +563,7 @@ func (b *qbuilder) makeQHists(n *qnode) ([]*histogram.Hist1D, []*histogram.Matri
 				hists[a] = histogram.New1D(b.schema.Attrs[a].Cardinality(), b.nc)
 			}
 		}
-		return hists, mats
+		return hists, mats, b.makeCMats(n)
 	}
 	hists := make([]*histogram.Hist1D, b.na)
 	for a := 0; a < b.na; a++ {
@@ -552,7 +573,7 @@ func (b *qbuilder) makeQHists(n *qnode) ([]*histogram.Hist1D, []*histogram.Matri
 			hists[a] = histogram.New1D(n.width(a), b.nc)
 		}
 	}
-	return hists, nil
+	return hists, nil, nil
 }
 
 func (b *qbuilder) hasWork() bool {
@@ -582,6 +603,10 @@ func goesLeftCodes(s *tree.Split, codes []uint16) bool {
 // validation (records were validated at encode) and no interval search: the
 // bin index is the code minus the node's window base.
 func (b *qbuilder) scan() error {
+	if b.scache != nil && b.tryCachedRound() {
+		b.finishSkippedScan()
+		return nil
+	}
 	if b.cfg.Workers > 1 {
 		if rs, ok := b.qsrc.(storage.CodeRangeSource); ok {
 			return b.scanParallel(rs)
@@ -616,6 +641,18 @@ func (b *qbuilder) finishScan() {
 	b.stats.NidBytesIO += 8 * int64(len(b.nid))
 }
 
+// finishSkippedScan accounts a round whose physical pass was skipped: every
+// live building node was prefilled from the statistics cache and no collect
+// buffer needed filling. The round still counts (the decide/prune cadence
+// is unchanged — that is what keeps cached trees bit-identical) but no scan
+// is charged anywhere: storage never ran one, and the nid[] routing state
+// simply goes stale, which route tolerates by walking records down through
+// resolved splits on the next physical pass.
+func (b *qbuilder) finishSkippedScan() {
+	b.stats.Rounds++
+	b.stats.ScansSaved++
+}
+
 // qshard holds one scan worker's private accumulators, merged in
 // worker-index order after the pass (same contract as the raw scanShard).
 type qshard struct {
@@ -626,6 +663,7 @@ type qshard struct {
 type qshardNode struct {
 	hists  []*histogram.Hist1D
 	mats   []*histogram.Matrix
+	cmats  []*histogram.Matrix
 	buffer buffer
 }
 
@@ -635,7 +673,7 @@ func (sh *qshard) nodeFor(b *qbuilder, n *qnode) *qshardNode {
 		sn = &qshardNode{}
 		sn.buffer.init(b.na)
 		if n.state == stBuilding {
-			sn.hists, sn.mats = b.makeQHists(n)
+			sn.hists, sn.mats, sn.cmats = b.makeQHists(n)
 		}
 		sh.nodes[n.id] = sn
 	}
@@ -656,6 +694,11 @@ func (sh *qshard) mergeInto(b *qbuilder) {
 		for a, m := range sn.mats {
 			if m != nil {
 				n.mats[a].Merge(m)
+			}
+		}
+		for a, m := range sn.cmats {
+			if m != nil {
+				n.cmats[a].Merge(m)
 			}
 		}
 		n.buffer.appendFrom(&sn.buffer)
@@ -726,11 +769,17 @@ func (b *qbuilder) route(sh *qshard, rid int, codes []uint16, label int) {
 			b.nid[rid] = n.id
 			return
 		default: // stBuilding
+			if n.prefilled {
+				// Statistics were installed from the cache before the scan;
+				// accumulating on top would double-count.
+				b.nid[rid] = n.id
+				return
+			}
 			if sh != nil {
 				sn := sh.nodeFor(b, n)
-				b.countCodes(n, sn.hists, sn.mats, codes, label)
+				b.countCodes(n, sn.hists, sn.mats, sn.cmats, codes, label)
 			} else {
-				b.countCodes(n, n.hists, n.mats, codes, label)
+				b.countCodes(n, n.hists, n.mats, n.cmats, codes, label)
 			}
 			b.nid[rid] = n.id
 			return
@@ -741,7 +790,7 @@ func (b *qbuilder) route(sh *qshard, rid int, codes []uint16, label int) {
 // countCodes counts one code record into dense accumulators of node n's
 // geometry (its own, or a worker shard's): bin = code - window base, no
 // comparisons, no search.
-func (b *qbuilder) countCodes(n *qnode, hists []*histogram.Hist1D, mats []*histogram.Matrix, codes []uint16, label int) {
+func (b *qbuilder) countCodes(n *qnode, hists []*histogram.Hist1D, mats, cmats []*histogram.Matrix, codes []uint16, label int) {
 	if mats != nil {
 		xb := int(codes[n.xAttr]) - n.lo[n.xAttr]
 		for _, y := range b.numeric {
@@ -753,6 +802,11 @@ func (b *qbuilder) countCodes(n *qnode, hists []*histogram.Hist1D, mats []*histo
 		for a, h := range hists {
 			if h != nil { // categorical: code is the category index
 				h.Add(int(codes[a]), label)
+			}
+		}
+		for a, m := range cmats {
+			if m != nil { // cache-only (xAttr, cat) matrix, see makeCMats
+				m.Add(xb, int(codes[a]), label)
 			}
 		}
 		return
@@ -775,7 +829,8 @@ func (b *qbuilder) countCodes(n *qnode, hists []*histogram.Hist1D, mats []*histo
 type qview struct {
 	marg   []*histogram.Hist1D
 	mats   []*histogram.Matrix
-	lo     []int // global code base per attr (numeric)
+	cmats  []*histogram.Matrix // cache donation only; never read by decisions
+	lo     []int               // global code base per attr (numeric)
 	xAttr  int
 	totals []int
 	n      int
@@ -801,6 +856,7 @@ func (b *qbuilder) viewOf(n *qnode) *qview {
 	v := &qview{xAttr: n.xAttr, lo: n.lo, marg: make([]*histogram.Hist1D, b.na)}
 	if n.mats != nil {
 		v.mats = n.mats
+		v.cmats = n.cmats
 		var first *histogram.Matrix
 		for _, y := range b.numeric {
 			if y != n.xAttr && n.mats[y] != nil {
@@ -828,7 +884,8 @@ func (b *qbuilder) viewOf(n *qnode) *qview {
 
 // sliceViewX restricts a matrix-bearing view to X bins [lo, hi) local to the
 // view — the shaded/unshaded sub-matrices of Figure 6. Categorical marginals
-// are not sliceable and are absent from the result.
+// are not sliceable (no (X, cat) matrix feeds decisions) and are absent from
+// the result.
 func (b *qbuilder) sliceViewX(v *qview, lo, hi int) *qview {
 	if v.mats == nil || lo >= hi {
 		return nil
@@ -840,6 +897,16 @@ func (b *qbuilder) sliceViewX(v *qview, lo, hi int) *qview {
 		lo:    append([]int(nil), v.lo...),
 	}
 	sv.lo[v.xAttr] = v.lo[v.xAttr] + lo
+	if v.cmats != nil {
+		// Slice the cache-only categorical matrices along with the rest so a
+		// second split on this axis can donate them to its own children.
+		sv.cmats = make([]*histogram.Matrix, b.na)
+		for a, m := range v.cmats {
+			if m != nil {
+				sv.cmats[a] = m.SliceX(lo, hi)
+			}
+		}
+	}
 	var first *histogram.Matrix
 	for _, y := range b.numeric {
 		if m := v.mats[y]; m != nil {
@@ -1096,9 +1163,23 @@ func (b *qbuilder) decideNode(n *qnode, v *qview, kind decideKind) {
 func (b *qbuilder) markCollect(n *qnode) {
 	n.state = stCollect
 	n.collectRound = b.round
-	n.hists, n.mats = nil, nil
+	n.hists, n.mats, n.cmats = nil, nil, nil
+	n.prefilled = false
+	b.scache.Drop(n.id)
 	b.collects = append(b.collects, n)
 }
+
+// xStickiness is the axis-stickiness tolerance: when predicting a child's
+// X-axis, the current axis is kept if its score is within this fraction of
+// the class impurity of the best attribute's score — the same 2% nudge
+// decideNode applies when choosing the actual split. Sticking to the axis
+// is what lets a double-split child's partitioned statistics stay usable
+// (a cached (axis, y) matrix only serves a node whose X-axis IS that
+// axis), turning one saved scan into a chain of them on deep trees. The
+// nudge applies to every quantized matrix build, cached or not — a
+// cache-gated policy would break the cached-vs-uncached bit-identity
+// contract.
+const xStickiness = 0.02
 
 // predictX implements predictSplit (Figure 7) over code marginals.
 func (b *qbuilder) predictX(v *qview, exclude int) int {
@@ -1107,6 +1188,7 @@ func (b *qbuilder) predictX(v *qview, exclude int) int {
 	}
 	bestA := -1
 	bestG := math.Inf(1)
+	axisG := math.Inf(1)
 	for _, a := range b.numeric {
 		if a == exclude || !b.attrAllowed(a) {
 			continue
@@ -1115,9 +1197,17 @@ func (b *qbuilder) predictX(v *qview, exclude int) int {
 		if h == nil || occupiedBins(h) < 2 {
 			continue
 		}
-		if e := qEvalNumeric(a, h, v.totals, b.estGroup(a)); e.ok && e.score < bestG {
-			bestG, bestA = e.score, a
+		if e := qEvalNumeric(a, h, v.totals, b.estGroup(a)); e.ok {
+			if a == v.xAttr {
+				axisG = e.score
+			}
+			if e.score < bestG {
+				bestG, bestA = e.score, a
+			}
 		}
+	}
+	if bestA >= 0 && bestA != v.xAttr && axisG-bestG <= xStickiness*gini.Index(v.totals) {
+		bestA = v.xAttr
 	}
 	if bestA < 0 {
 		bestA = b.xDefault()
@@ -1168,6 +1258,27 @@ func (b *qbuilder) predictChildX(v *qview, attr, binLo, binHi int) int {
 	return bestA
 }
 
+// predictChildXOnAxis predicts the X-axis for a child of a second-level
+// split that landed on the view's own X-axis (the first-level split already
+// consumed its sliced views, so this child has none of its own). When every
+// allowed attribute is numeric, an X-axis split restricts every matrix
+// exactly, so the child gets the same fully-exact predictX the first-level
+// children get, stickiness included — these children are next round's
+// frontier, and an inherited axis is what lets the statistics cache serve
+// them without a scan. When categorical attributes are in play the axis is
+// excluded instead (the pre-inheritance behavior): sticky axes breed
+// same-scan second splits, second splits cannot see categorical evidence
+// (sliced views have no categorical marginals), and on categorical-driven
+// data that trades real splits for numeric near-ties.
+func (b *qbuilder) predictChildXOnAxis(v *qview, binLo, binHi int) int {
+	if b.inheritX {
+		if sv := b.sliceViewX(v, binLo, binHi); sv != nil {
+			return b.predictX(sv, -1)
+		}
+	}
+	return b.predictX(v, v.xAttr)
+}
+
 // newChild creates a building child whose windows equal the parent's except
 // on the split attribute, narrowed to local bins [binLo, binHi). Children
 // small enough go straight to record collection.
@@ -1193,7 +1304,7 @@ func (b *qbuilder) newChild(depth int, v *qview, splitAttr, binLo, binHi, x int,
 		b.markCollect(c)
 		return c
 	}
-	c.hists, c.mats = b.makeQHists(c)
+	c.hists, c.mats, c.cmats = b.makeQHists(c)
 	b.queueScanned(c)
 	return c
 }
@@ -1237,6 +1348,8 @@ func (b *qbuilder) makeResolvedNumeric(n *qnode, v *qview, e *qEval, kind decide
 		lx = b.predictX(lview, -1)
 	case v.mats != nil && e.attr != v.xAttr:
 		lx = b.predictChildX(v, e.attr, 0, e.boundary+1)
+	case v.mats != nil:
+		lx = b.predictChildXOnAxis(v, 0, e.boundary+1)
 	default:
 		lx = b.predictX(v, e.attr)
 	}
@@ -1245,6 +1358,8 @@ func (b *qbuilder) makeResolvedNumeric(n *qnode, v *qview, e *qEval, kind decide
 		rx = b.predictX(rview, -1)
 	case v.mats != nil && e.attr != v.xAttr:
 		rx = b.predictChildX(v, e.attr, e.boundary+1, bins)
+	case v.mats != nil:
+		rx = b.predictChildXOnAxis(v, e.boundary+1, bins)
 	default:
 		rx = b.predictX(v, e.attr)
 	}
@@ -1259,7 +1374,7 @@ func (b *qbuilder) makeResolvedNumeric(n *qnode, v *qview, e *qEval, kind decide
 	n.tn.Left, n.tn.Right = left.tn, right.tn
 	n.children = []*qnode{left, right}
 	n.state = stResolved
-	n.hists, n.mats = nil, nil
+	n.hists, n.mats, n.cmats = nil, nil, nil
 
 	if doubleSplit {
 		grew := false
@@ -1273,6 +1388,22 @@ func (b *qbuilder) makeResolvedNumeric(n *qnode, v *qview, e *qEval, kind decide
 		}
 		if grew {
 			b.stats.DoubleSplits++
+		}
+	}
+	if b.scache != nil {
+		if v.mats != nil && e.attr == v.xAttr {
+			// X-axis split — first or second level: every matrix partitions
+			// exactly at the code boundary into the children's. For a
+			// second-level split n is this scan's fresh child and v its
+			// sliced view, whose matrices (and sliced cmats) donate the same
+			// way — that is the path that feeds next round's frontier, since
+			// the first-level children are resolved within this very scan.
+			// Runs after any double-split decisions so eligibility is final.
+			b.cacheChildren(n, v, e.boundary+1, left, right)
+		} else {
+			// Y-attribute split: resident entries cannot be partitioned
+			// along a non-X attribute.
+			b.scache.Drop(n.id)
 		}
 	}
 }
@@ -1300,7 +1431,8 @@ func (b *qbuilder) makeResolvedCategorical(n *qnode, v *qview, attr int, mask ui
 	n.tn.Left, n.tn.Right = left.tn, right.tn
 	n.children = []*qnode{left, right}
 	n.state = stResolved
-	n.hists, n.mats = nil, nil
+	n.hists, n.mats, n.cmats = nil, nil, nil
+	b.scache.Drop(n.id) // categorical splits do not partition the matrices
 }
 
 func (b *qbuilder) finalizeAsLeaf(n *qnode, counts []int) {
@@ -1316,8 +1448,9 @@ func (b *qbuilder) finalizeAsLeaf(n *qnode, counts []int) {
 	}
 	n.children = nil
 	n.buffer.reset()
-	n.hists, n.mats = nil, nil
+	n.hists, n.mats, n.cmats = nil, nil, nil
 	n.state = stLeaf
+	b.scache.Drop(n.id)
 }
 
 func (b *qbuilder) retire(n *qnode, to *qnode) {
@@ -1326,8 +1459,9 @@ func (b *qbuilder) retire(n *qnode, to *qnode) {
 	}
 	n.dead = true
 	n.succ = to
-	n.hists, n.mats = nil, nil
+	n.hists, n.mats, n.cmats = nil, nil, nil
 	n.buffer.reset()
+	b.scache.Drop(n.id)
 	delete(b.byTN, n.tn)
 	for _, c := range n.children {
 		b.retire(c, to)

@@ -1,0 +1,188 @@
+package core
+
+// The sufficient-statistics cache layer of the quantized build (ROADMAP
+// item 5, after Moore & Lee's cached sufficient statistics). A building
+// node's accumulators — the (xAttr, y) bivariate matrix per numeric
+// attribute and, when the cache is on, an extra (xAttr, cat) matrix per
+// categorical attribute — are complete sufficient statistics for its split
+// decision. When a node splits on its own X-axis, every one of those
+// matrices partitions exactly at the code boundary into the two children's
+// matrices (column slices re-based at zero), so a descendant round whose
+// live frontier finds all its statistics resident skips the physical data
+// scan entirely: the decisions it makes from cached slices are
+// byte-identical to the ones a real scan would have produced.
+//
+// Every cache operation happens on the serial control path — install
+// before the scan, donate/partition/drop during the serial decide phase —
+// never inside parallel scan workers, so cached builds stay bit-identical
+// to uncached ones at any worker count: the same invariant every prior
+// layer pins.
+
+import (
+	"cmpdt/internal/dataset"
+	"cmpdt/internal/histogram"
+	"cmpdt/internal/stats"
+)
+
+// initStatsCache enables the cache when configured and applicable. Only
+// matrix-bearing quantized builds can partition statistics (CMP-S's 1-D
+// histograms narrow on the split attribute, which a marginal cannot
+// recover), so anything else leaves the cache nil — and every cache call
+// below is nil-safe, keeping the uncached hot path untouched.
+func (b *qbuilder) initStatsCache() {
+	if !b.useMats || b.cfg.StatsCacheBytes <= 0 {
+		return
+	}
+	b.scache = stats.New(b.cfg.StatsCacheBytes)
+	b.stats.StatsCacheEnabled = b.scache != nil
+	b.stats.StatsCacheBudgetBytes = b.scache.Budget()
+}
+
+// finishStatsCache publishes the cache counters into the build stats.
+func (b *qbuilder) finishStatsCache() {
+	if b.scache == nil {
+		return
+	}
+	cs := b.scache.Stats()
+	b.stats.StatsCacheHits = cs.Hits
+	b.stats.StatsCacheMisses = cs.Misses
+	b.stats.StatsCacheEvictions = cs.Evictions
+	b.stats.StatsCacheBytesResident = cs.BytesResident
+	b.stats.StatsCachePeakBytes = cs.PeakBytes
+}
+
+// makeCMats allocates the per-categorical-attribute (xAttr, cat) matrices a
+// building node additionally accumulates when the cache is on. Their
+// Y-marginal equals the plain categorical histogram, so children of an
+// X-axis split can re-derive categorical evidence from the partitioned
+// matrix — without them, any categorical attribute would be a permanent
+// cache miss. They are never read by decisions and are excluded from
+// histMemoryBytes, so the build's peak-memory accounting stays identical
+// cache-on vs cache-off (the cache budget accounts for them instead).
+func (b *qbuilder) makeCMats(n *qnode) []*histogram.Matrix {
+	if b.scache == nil {
+		return nil
+	}
+	var cmats []*histogram.Matrix
+	xw := n.width(n.xAttr)
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind == dataset.Categorical {
+			if cmats == nil {
+				cmats = make([]*histogram.Matrix, b.na)
+			}
+			cmats[a] = histogram.NewMatrix(xw, b.schema.Attrs[a].Cardinality(), b.nc)
+		}
+	}
+	return cmats
+}
+
+// tryCachedRound runs before each round's physical scan: it installs
+// resident statistics into every live building node it can (all-or-nothing
+// per node), and reports whether the scan itself is skippable — every live
+// building node prefilled and no collect node waiting for a buffer fill.
+// Installs also pay off on mixed rounds: a prefilled node rides through the
+// scan without accumulating.
+func (b *qbuilder) tryCachedRound() bool {
+	allHit := true
+	for _, n := range b.scanned {
+		if n.dead || n.state != stBuilding {
+			continue
+		}
+		if !b.installCached(n) {
+			allHit = false
+		}
+	}
+	return allHit && len(b.collects) == 0
+}
+
+// installCached replaces node n's zeroed accumulators with the cache's
+// partitioned copies when every required entry is resident: one (xAttr, y)
+// matrix per numeric y != xAttr and one (xAttr, cat) matrix per categorical
+// attribute (its Y-marginal rebuilds the categorical histogram). On any
+// missing entry the node keeps its zeroed accumulators and the residue is
+// dropped — a partial set can never be used, and freeing it makes room.
+// Entries stay resident after an install: if the node then splits on its
+// axis they partition in place to its children.
+func (b *qbuilder) installCached(n *qnode) bool {
+	if n.prefilled {
+		return true
+	}
+	got := make([]*histogram.Matrix, b.na)
+	complete := true
+	for _, y := range b.numeric {
+		if y == n.xAttr {
+			continue
+		}
+		if got[y] = b.scache.Get(n.id, y); got[y] == nil {
+			complete = false
+		}
+	}
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind != dataset.Categorical {
+			continue
+		}
+		if got[a] = b.scache.Get(n.id, a); got[a] == nil {
+			complete = false
+		}
+	}
+	if !complete {
+		b.scache.Drop(n.id)
+		return false
+	}
+	for _, y := range b.numeric {
+		if y != n.xAttr {
+			n.mats[y] = got[y]
+		}
+	}
+	for a := 0; a < b.na; a++ {
+		if b.schema.Attrs[a].Kind == dataset.Categorical {
+			n.cmats[a] = got[a]
+			n.hists[a] = got[a].MarginalY()
+		}
+	}
+	n.prefilled = true
+	return true
+}
+
+// cacheEligible reports whether a fresh child can ever use entries
+// partitioned from its parent: it must still be awaiting a scan and its
+// predicted X-axis must equal the parent's (the cached matrices' X-axis).
+func cacheEligible(c *qnode, axis int) bool {
+	return !c.dead && c.state == stBuilding && c.xAttr == axis
+}
+
+// cacheChildren records the children's derivable statistics after an
+// X-axis split — first-level (the caller's doubleSplit) or second-level (a
+// same-scan child split that also landed on the axis; its children feed
+// next round's frontier). A prefilled parent's entries are already resident
+// and partition in place; a freshly scanned parent first donates its own
+// accumulators (zero-copy: the node is resolved and never reads them
+// again), then partitions. Children that cannot use the slices — resolved
+// by the same-scan second split, sent to collect, or assigned a different
+// X-axis — have their entries dropped immediately to free budget. Called
+// after the double-split decisions so eligibility is final.
+func (b *qbuilder) cacheChildren(n *qnode, v *qview, leftW int, left, right *qnode) {
+	if !cacheEligible(left, v.xAttr) && !cacheEligible(right, v.xAttr) {
+		b.scache.Drop(n.id)
+		return
+	}
+	if !n.prefilled {
+		for _, y := range b.numeric {
+			if y != v.xAttr && v.mats[y] != nil {
+				b.scache.Put(n.id, y, v.mats[y])
+			}
+		}
+		for a, m := range v.cmats {
+			if m != nil {
+				b.scache.Put(n.id, a, m)
+			}
+		}
+	}
+	b.scache.PartitionX(n.id, left.id, right.id, leftW)
+	if !cacheEligible(left, v.xAttr) {
+		b.scache.Drop(left.id)
+	}
+	if !cacheEligible(right, v.xAttr) {
+		b.scache.Drop(right.id)
+	}
+}

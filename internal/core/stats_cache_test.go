@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// normalizeCachedStats zeroes exactly the fields that legitimately differ
+// between cached and uncached builds of the same tree: the scan counters
+// the cache exists to reduce (Scans, NidBytesIO), the cache's own block,
+// and the quantization wall time (nondeterministic in any comparison).
+// Everything else — rounds, prediction accounting, double splits, peak
+// memory, buffered records, tree-shape diagnostics — must be bit-equal.
+func normalizeCachedStats(s Stats) Stats {
+	s.QuantizeNs = 0
+	s.Scans = 0
+	s.NidBytesIO = 0
+	s.ScansSaved = 0
+	s.StatsCacheEnabled = false
+	s.StatsCacheBudgetBytes = 0
+	s.StatsCacheHits = 0
+	s.StatsCacheMisses = 0
+	s.StatsCacheEvictions = 0
+	s.StatsCacheBytesResident = 0
+	s.StatsCachePeakBytes = 0
+	return s
+}
+
+// TestStatsCacheDifferential is the tentpole's safety proof: across
+// workers {1,2,8} x cache {off, 64 MiB} x quantize {on, off} x {mem, file}
+// sources, every build of the same dataset yields the byte-identical tree
+// and identical logical scan accounting minus the saved scans. Collects
+// are disabled so the build runs deep multi-round frontiers — the regime
+// where cached rounds actually skip scans.
+func TestStatsCacheDifferential(t *testing.T) {
+	tbl := synth.Generate(synth.F7, 20_000, 11)
+	mem := storage.NewMem(tbl)
+	path := filepath.Join(t.TempDir(), "stats.rec")
+	if _, err := storage.WriteTable(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	file, err := storage.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []struct {
+		name string
+		src  storage.Source
+	}{{"mem", mem}, {"file", file}}
+
+	for _, quantize := range []bool{true, false} {
+		for _, sc := range sources {
+			cfg := Default(CMPB)
+			cfg.Workers = 1
+			cfg.Quantize = quantize
+			cfg.InMemoryNodeRecords = -1
+			wantTree, wantStats, wantIO := buildOnce(t, sc.src, cfg)
+			wantNorm := normalizeCachedStats(wantStats)
+
+			for _, w := range []int{1, 2, 8} {
+				for _, budget := range []int64{0, 64 << 20} {
+					if w == 1 && budget == 0 {
+						continue // that is the baseline itself
+					}
+					name := fmt.Sprintf("quant=%v/%s/w%d/cache=%d", quantize, sc.name, w, budget)
+					t.Run(name, func(t *testing.T) {
+						c := cfg
+						c.Workers = w
+						c.StatsCacheBytes = budget
+						gotTree, gotStats, gotIO := buildOnce(t, sc.src, c)
+						if !bytes.Equal(gotTree, wantTree) {
+							t.Errorf("tree differs from uncached serial build")
+						}
+						if got := normalizeCachedStats(gotStats); !reflect.DeepEqual(got, wantNorm) {
+							t.Errorf("stats differ beyond scan accounting:\n got  %+v\n want %+v", got, wantNorm)
+						}
+						// Logical scan accounting: identical minus the saved
+						// scans, consistently in Stats and in the storage
+						// layer's own counters.
+						if gotStats.Scans != wantStats.Scans-gotStats.ScansSaved {
+							t.Errorf("Scans = %d, want uncached %d - saved %d",
+								gotStats.Scans, wantStats.Scans, gotStats.ScansSaved)
+						}
+						if gotIO.Scans != wantIO.Scans-int64(gotStats.ScansSaved) {
+							t.Errorf("io.Scans = %d, want uncached %d - saved %d",
+								gotIO.Scans, wantIO.Scans, gotStats.ScansSaved)
+						}
+						if budget == 0 && gotStats.ScansSaved != 0 {
+							t.Errorf("ScansSaved = %d with the cache off", gotStats.ScansSaved)
+						}
+						if !quantize && gotStats.ScansSaved != 0 {
+							t.Errorf("ScansSaved = %d on a raw build", gotStats.ScansSaved)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestStatsCacheScanSavingsF7 is the deep-tree regression test: on Agrawal
+// Function 7 the cache must strictly reduce scans-per-build, with
+// ScansSaved matching the delta exactly — in the build stats and in the
+// storage layer's scan counter — while the tree stays byte-identical.
+func TestStatsCacheScanSavingsF7(t *testing.T) {
+	tbl := synth.Generate(synth.F7, 30_000, 3)
+	mem := storage.NewMem(tbl)
+	cfg := Default(CMPB)
+	cfg.Quantize = true
+	cfg.Workers = 1
+	cfg.InMemoryNodeRecords = -1
+
+	wantTree, off, offIO := buildOnce(t, mem, cfg)
+
+	cfg.StatsCacheBytes = 64 << 20
+	gotTree, on, onIO := buildOnce(t, mem, cfg)
+
+	if !bytes.Equal(gotTree, wantTree) {
+		t.Fatal("cached build's tree differs from the uncached build")
+	}
+	if !on.StatsCacheEnabled {
+		t.Fatal("cache did not engage")
+	}
+	if on.Scans >= off.Scans {
+		t.Fatalf("cached Scans = %d, not strictly below uncached %d", on.Scans, off.Scans)
+	}
+	if on.ScansSaved != off.Scans-on.Scans {
+		t.Fatalf("ScansSaved = %d, want the exact delta %d", on.ScansSaved, off.Scans-on.Scans)
+	}
+	if onIO.Scans != offIO.Scans-int64(on.ScansSaved) {
+		t.Fatalf("io.Scans = %d, want uncached %d - saved %d", onIO.Scans, offIO.Scans, on.ScansSaved)
+	}
+	if on.Rounds != off.Rounds {
+		t.Fatalf("Rounds = %d cached vs %d uncached; skipping a scan must not change the round cadence",
+			on.Rounds, off.Rounds)
+	}
+
+	// A budget far too small for the upper tree still yields the identical
+	// tree — entries get refused or evicted, rounds just stop skipping.
+	cfg.StatsCacheBytes = 64 << 10
+	tightTree, tight, _ := buildOnce(t, mem, cfg)
+	if !bytes.Equal(tightTree, wantTree) {
+		t.Fatal("tight-budget cached build's tree differs")
+	}
+	if tight.ScansSaved > on.ScansSaved {
+		t.Fatalf("tight budget saved %d scans, more than the 64 MiB budget's %d",
+			tight.ScansSaved, on.ScansSaved)
+	}
+}
+
+// TestStatsCacheChainRegimeF7 pins the cache's headline regime: an
+// axis-coherent deep build (splits restricted to one numeric attribute, so
+// every split partitions its statistics) constructs the entire tree below
+// the root without rescanning — every round after the first finds its whole
+// frontier prefilled. This is where cached sufficient statistics earn their
+// keep: most of the build's physical scans disappear, and the tree is still
+// byte-identical to the uncached build's.
+func TestStatsCacheChainRegimeF7(t *testing.T) {
+	tbl := synth.Generate(synth.F7, 30_000, 3)
+	mem := storage.NewMem(tbl)
+	cfg := Default(CMPB)
+	cfg.Quantize = true
+	cfg.Workers = 1
+	cfg.InMemoryNodeRecords = -1
+	cfg.Prune = false
+	cfg.SplitAttrs = []int{8} // loan: F7's dominant numeric attribute
+
+	wantTree, off, _ := buildOnce(t, mem, cfg)
+
+	cfg.StatsCacheBytes = 64 << 20
+	gotTree, on, onIO := buildOnce(t, mem, cfg)
+
+	if !bytes.Equal(gotTree, wantTree) {
+		t.Fatal("cached chain build's tree differs from the uncached build")
+	}
+	if on.ScansSaved != off.Scans-on.Scans {
+		t.Fatalf("ScansSaved = %d, want the exact delta %d", on.ScansSaved, off.Scans-on.Scans)
+	}
+	// Every round after the root's is served from partitioned statistics.
+	if want := on.Rounds - 1; on.ScansSaved != want {
+		t.Fatalf("ScansSaved = %d over %d rounds; want all but the first round skipped (%d)",
+			on.ScansSaved, on.Rounds, want)
+	}
+	if 2*on.ScansSaved < off.Scans {
+		t.Fatalf("saved %d of %d scans; the chain regime should eliminate most of them",
+			on.ScansSaved, off.Scans)
+	}
+	if on.StatsCacheHits == 0 || onIO.Scans == 0 {
+		t.Fatalf("implausible counters: hits=%d io.Scans=%d", on.StatsCacheHits, onIO.Scans)
+	}
+}
+
+// TestStatsCacheDefaultConfig covers the cache under the default collect
+// threshold (shallow frontier, collects force scans): whatever it saves,
+// the tree must stay identical and the accounting consistent.
+func TestStatsCacheDefaultConfig(t *testing.T) {
+	tbl := synth.Generate(synth.F7, 20_000, 5)
+	mem := storage.NewMem(tbl)
+	cfg := Default(CMPB)
+	cfg.Quantize = true
+	cfg.Workers = 2
+
+	wantTree, off, _ := buildOnce(t, mem, cfg)
+	cfg.StatsCacheBytes = 64 << 20
+	gotTree, on, _ := buildOnce(t, mem, cfg)
+
+	if !bytes.Equal(gotTree, wantTree) {
+		t.Fatal("cached build's tree differs under the default config")
+	}
+	if on.Scans != off.Scans-on.ScansSaved {
+		t.Fatalf("Scans = %d, want uncached %d - saved %d", on.Scans, off.Scans, on.ScansSaved)
+	}
+}

@@ -29,6 +29,7 @@ func MetricsReport(c *obs.Collector, res *RunResult) *obs.Report {
 	if st := res.CoreStats; st != nil {
 		st.FillSummary(&rep.Build)
 		st.FillQuant(&rep.Quant)
+		st.FillStatsCache(&rep.Stats)
 	}
 	rep.IO = IOSummary(res.IOStats)
 	return rep

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"cmpdt/internal/core"
+	"cmpdt/internal/storage"
+	"cmpdt/internal/synth"
+)
+
+// StatsResult is the sufficient-statistics-cache baseline BENCH_stats.json
+// records: cached vs uncached quantized CMP-B builds over Function 7 in two
+// regimes, plus the differential check that every cached configuration
+// serializes the identical tree. "default" is the stock deep build (all
+// attributes, pruning on), where the cache's savings come from rounds whose
+// frontier drains before the scan; "chain" restricts splits to one numeric
+// attribute (pruning off), the axis-coherent regime where partitioned
+// statistics serve every round after the first.
+type StatsResult struct {
+	Workload        string `json:"workload"`
+	Records         int    `json:"records"`
+	Intervals       int    `json:"intervals"`
+	StatsCacheBytes int64  `json:"stats_cache_bytes"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
+	// TreesIdentical is true when, per regime, the cached builds at
+	// workers {1, 2, 8} all serialize the byte-identical tree to the
+	// uncached serial build's.
+	TreesIdentical bool `json:"trees_identical"`
+	// Default-regime logical scan accounting (identical at every worker
+	// count; recorded from the serial builds).
+	ScansUncached int `json:"scans_uncached"`
+	ScansCached   int `json:"scans_cached"`
+	ScansSaved    int `json:"scans_saved"`
+	// Chain-regime accounting: most of the build's scans disappear.
+	ChainScansUncached int   `json:"chain_scans_uncached"`
+	ChainScansCached   int   `json:"chain_scans_cached"`
+	ChainScansSaved    int   `json:"chain_scans_saved"`
+	ChainCacheHits     int64 `json:"chain_cache_hits"`
+	// Rows reuses the shared benchmark row shape so benchdiff gates this
+	// file with the same key scheme as the other baselines. Set is
+	// "stats"; Mode is "<regime>/cache=off|on"; SpeedupVsPointer holds
+	// uncached-over-this for the matching (regime, workers) pair, so the
+	// cache-off rows read 1.0.
+	Rows []InferRow `json:"rows"`
+}
+
+// statsCacheBytes is the experiment's cache budget: comfortably above the
+// deep F7 frontier's resident set, so evictions never mask the savings.
+const statsCacheBytes = 64 << 20
+
+// statsChainAttr is F7's dominant numeric attribute (loan): restricting
+// splits to it keeps every frontier node on the cached matrices' axis.
+const statsChainAttr = 8
+
+// StatsBench measures what retained sufficient statistics buy the build: a
+// quantized CMP-B tree over in-memory Function 7 (deep: subtrees never
+// finish in memory) is built with the cache off and on, in the default and
+// chain regimes. Scan accounting comes from the build stats — the cached
+// builds must report exactly the uncached scan count minus ScansSaved and
+// serialize the identical tree.
+func (o Opts) StatsBench() (*StatsResult, error) {
+	tbl := synth.Generate(synth.F7, o.N, o.Seed)
+	src := storage.NewMem(tbl)
+	n := tbl.NumRecords()
+
+	out := &StatsResult{
+		Workload:        synth.F7.String(),
+		Records:         n,
+		Intervals:       o.Intervals,
+		StatsCacheBytes: statsCacheBytes,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		TreesIdentical:  true,
+	}
+
+	type regime struct {
+		name    string
+		workers []int
+		config  func() core.Config
+	}
+	regimes := []regime{
+		{
+			name:    "default",
+			workers: []int{1, 2, 8},
+			config: func() core.Config {
+				cfg := core.Default(core.CMPB)
+				cfg.Intervals = o.Intervals
+				cfg.Seed = o.Seed
+				cfg.Quantize = true
+				cfg.InMemoryNodeRecords = -1
+				return cfg
+			},
+		},
+		{
+			name:    "chain",
+			workers: []int{1},
+			config: func() core.Config {
+				cfg := core.Default(core.CMPB)
+				cfg.Intervals = o.Intervals
+				cfg.Seed = o.Seed
+				cfg.Quantize = true
+				cfg.InMemoryNodeRecords = -1
+				cfg.Prune = false
+				cfg.SplitAttrs = []int{statsChainAttr}
+				return cfg
+			},
+		},
+	}
+
+	for _, rg := range regimes {
+		uncachedNs := make(map[int]float64)
+		var wantTree []byte
+		for _, cached := range []bool{false, true} {
+			for _, workers := range []int{1, 2, 8} {
+				listed := false
+				for _, w := range rg.workers {
+					if w == workers {
+						listed = true
+					}
+				}
+				if !listed {
+					continue
+				}
+				cfg := rg.config()
+				cfg.Workers = workers
+				mode := rg.name + "/cache=off"
+				if cached {
+					cfg.StatsCacheBytes = statsCacheBytes
+					mode = rg.name + "/cache=on"
+				}
+				start := time.Now()
+				res, err := core.Build(src, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: stats %s workers=%d: %w", mode, workers, err)
+				}
+				ns := float64(time.Since(start).Nanoseconds()) / float64(n)
+
+				var buf bytes.Buffer
+				if err := res.Tree.WriteJSON(&buf); err != nil {
+					return nil, err
+				}
+				if wantTree == nil {
+					wantTree = buf.Bytes()
+				} else if !bytes.Equal(buf.Bytes(), wantTree) {
+					out.TreesIdentical = false
+				}
+
+				if workers == 1 {
+					switch {
+					case rg.name == "default" && !cached:
+						out.ScansUncached = res.Stats.Scans
+					case rg.name == "default" && cached:
+						out.ScansCached = res.Stats.Scans
+						out.ScansSaved = res.Stats.ScansSaved
+					case rg.name == "chain" && !cached:
+						out.ChainScansUncached = res.Stats.Scans
+					case rg.name == "chain" && cached:
+						out.ChainScansCached = res.Stats.Scans
+						out.ChainScansSaved = res.Stats.ScansSaved
+						out.ChainCacheHits = res.Stats.StatsCacheHits
+					}
+				}
+				if !cached {
+					uncachedNs[workers] = ns
+				}
+				out.Rows = append(out.Rows, InferRow{
+					Set:              "stats",
+					Mode:             mode,
+					Workers:          workers,
+					NsPerRecord:      ns,
+					MRecordsPerSec:   1e3 / ns,
+					SpeedupVsPointer: uncachedNs[workers] / ns,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintStatsBench renders the result as an aligned table.
+func PrintStatsBench(w io.Writer, r *StatsResult) {
+	fmt.Fprintf(w, "workload %s, %d records, %d intervals, stats cache %d MiB, GOMAXPROCS %d\n",
+		r.Workload, r.Records, r.Intervals, r.StatsCacheBytes>>20, r.GOMAXPROCS)
+	fmt.Fprintf(w, "cached trees identical: %v\n", r.TreesIdentical)
+	fmt.Fprintf(w, "default regime: %d scans uncached, %d cached (%d saved)\n",
+		r.ScansUncached, r.ScansCached, r.ScansSaved)
+	fmt.Fprintf(w, "chain regime:   %d scans uncached, %d cached (%d saved, %d cache hits)\n",
+		r.ChainScansUncached, r.ChainScansCached, r.ChainScansSaved, r.ChainCacheHits)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tworkers\tns/record\tMrec/s\tspeedup vs uncached")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2f\t%.2fx\n",
+			row.Mode, row.Workers, row.NsPerRecord, row.MRecordsPerSec, row.SpeedupVsPointer)
+	}
+	tw.Flush()
+}
+
+// WriteStatsJSON writes the machine-readable baseline consumed by
+// make bench-stats (BENCH_stats.json).
+func WriteStatsJSON(w io.Writer, r *StatsResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

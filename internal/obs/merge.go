@@ -27,6 +27,7 @@ func MergeReports(reports ...*Report) *Report {
 			mergeBuild(&out.Build, &r.Build)
 		}
 		addIO(&out.IO, &r.IO)
+		mergeStatsCache(&out.Stats, &r.Stats)
 		for name, st := range r.PhaseTotals {
 			tot := out.PhaseTotals[name]
 			tot.Ns += st.Ns
@@ -80,6 +81,24 @@ func addIO(dst, s *IOSummary) {
 	dst.CacheMisses += s.CacheMisses
 	dst.CacheEvictions += s.CacheEvictions
 	dst.PrefetchedPages += s.PrefetchedPages
+}
+
+// mergeStatsCache folds a member's statistics-cache block in: counters sum,
+// the budget and peak take the largest member (members hold independent
+// caches), and enabled is true if any member's cache engaged.
+func mergeStatsCache(dst, s *StatsCacheSummary) {
+	dst.Enabled = dst.Enabled || s.Enabled
+	if s.BudgetBytes > dst.BudgetBytes {
+		dst.BudgetBytes = s.BudgetBytes
+	}
+	dst.Hits += s.Hits
+	dst.Misses += s.Misses
+	dst.Evictions += s.Evictions
+	dst.BytesResident += s.BytesResident
+	if s.PeakBytes > dst.PeakBytes {
+		dst.PeakBytes = s.PeakBytes
+	}
+	dst.ScansSaved += s.ScansSaved
 }
 
 // mergeRounds folds member rounds into the output by round index: scans and

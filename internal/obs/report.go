@@ -14,7 +14,9 @@ import (
 // v3 added the serve block (null outside cmpserve).
 // v4 added the quant block (always present; enabled=false on raw builds).
 // v5 added the stream block (null outside cmpstream).
-const ReportSchemaVersion = 5
+// v6 added the stats block (always present; enabled=false without a
+// sufficient-statistics cache).
+const ReportSchemaVersion = 6
 
 // PhaseStat is one phase's accumulated time.
 type PhaseStat struct {
@@ -151,6 +153,24 @@ type StreamSummary struct {
 	SketchBytes int64 `json:"sketch_bytes"`
 }
 
+// StatsCacheSummary is the sufficient-statistics-cache block of the report
+// (schema v6): the cross-level (node, attribute) matrix cache of quantized
+// builds. Always present; enabled=false with zero counters when the cache
+// is off or the build cannot use one. Hits and misses count entry-level
+// lookups; ScansSaved counts whole construction-round scans skipped, so
+// build.scans here plus scans_saved equals the same build's scans with the
+// cache disabled.
+type StatsCacheSummary struct {
+	Enabled       bool  `json:"enabled"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	BytesResident int64 `json:"bytes_resident"`
+	PeakBytes     int64 `json:"peak_bytes"`
+	ScansSaved    int   `json:"scans_saved"`
+}
+
 // Report is the machine-readable observability report: the -metrics-json
 // contract. Key set and nesting are stable for a given SchemaVersion;
 // timing values (ns fields, imbalance) vary run to run, everything else is
@@ -165,6 +185,9 @@ type Report struct {
 	Rounds      []RoundReport        `json:"rounds"`
 	// Quant is the quantized-build summary (enabled=false on raw builds).
 	Quant QuantSummary `json:"quant"`
+	// Stats is the sufficient-statistics-cache summary (enabled=false
+	// without a cache).
+	Stats StatsCacheSummary `json:"stats"`
 	// Metrics snapshots the auxiliary registry (inference latency
 	// histograms, tool-specific counters).
 	Metrics RegistrySnapshot `json:"metrics"`

@@ -1,0 +1,266 @@
+// Package stats implements a budgeted cross-level sufficient-statistics
+// cache for the quantized CMP build, after Moore & Lee's cached sufficient
+// statistics: the bivariate (axis x attribute) class-count matrices a node
+// accumulates during its scan are retained under a memory budget and, when
+// the node splits on its axis attribute, partitioned in place at the code
+// boundary — each child's matrices are exact column slices of the parent's,
+// so a descendant round whose every live node finds its statistics resident
+// can skip the physical data scan entirely.
+//
+// Determinism contract: every operation is a pure function of the call
+// sequence. Recency is an explicit doubly-linked list (never map iteration),
+// PartitionX visits a node's attributes in ascending order, and eviction
+// always removes the exact least-recently-used entry. Two builds issuing
+// the same call sequence observe identical hits, misses, evictions, and
+// residency — which is what keeps cached builds bit-identical to uncached
+// ones at any worker count.
+package stats
+
+import "cmpdt/internal/histogram"
+
+// Key identifies one cached statistic: the (axis x attr) class-count matrix
+// of one tree node. The axis attribute itself is implicit — it is a property
+// of the node, not part of the key.
+type Key struct {
+	Node int32
+	Attr int
+}
+
+// entryOverhead approximates the bookkeeping bytes per resident entry
+// (list node, map slot, Matrix header) on top of the matrix payload, so
+// the budget reflects real memory rather than counts alone.
+const entryOverhead = 96
+
+type entry struct {
+	key        Key
+	mat        *histogram.Matrix
+	bytes      int64
+	prev, next *entry // recency list neighbours; head is most recent
+}
+
+// Stats is the cache's counter block. Hits and Misses count entry-level
+// lookups (Get), Evictions counts budget-forced removals only — Drop and
+// PartitionX removals are not evictions.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Inserts       int64
+	Evictions     int64
+	Partitions    int64
+	BytesResident int64
+	PeakBytes     int64
+	Entries       int
+}
+
+// Cache is a budgeted (node, attribute) -> matrix cache with exact LRU
+// eviction. The zero budget (or a nil *Cache) disables everything: all
+// methods are nil-safe no-ops so callers need no guards.
+type Cache struct {
+	budget     int64
+	entries    map[Key]*entry
+	byNode     map[int32]map[int]*entry
+	head, tail *entry
+	st         Stats
+}
+
+// New returns a cache holding at most budget bytes of matrix payload plus
+// per-entry overhead. A non-positive budget returns nil (disabled).
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		return nil
+	}
+	return &Cache{
+		budget:  budget,
+		entries: make(map[Key]*entry),
+		byNode:  make(map[int32]map[int]*entry),
+	}
+}
+
+// Budget reports the configured byte budget (0 when disabled).
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.budget
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := c.st
+	st.Entries = len(c.entries)
+	return st
+}
+
+func entryBytes(m *histogram.Matrix) int64 { return m.MemoryBytes() + entryOverhead }
+
+// Put inserts (or replaces) the matrix for (node, attr), storing the given
+// matrix by reference — callers donate ownership; the cache never copies.
+// Returns false without side effects when the matrix alone exceeds the
+// whole budget. Insertion makes the entry most-recent and evicts from the
+// least-recent end until the budget holds again.
+func (c *Cache) Put(node int32, attr int, m *histogram.Matrix) bool {
+	if c == nil || m == nil {
+		return false
+	}
+	b := entryBytes(m)
+	if b > c.budget {
+		return false
+	}
+	key := Key{Node: node, Attr: attr}
+	if old, ok := c.entries[key]; ok {
+		c.remove(old)
+	}
+	e := &entry{key: key, mat: m, bytes: b}
+	c.entries[key] = e
+	na := c.byNode[node]
+	if na == nil {
+		na = make(map[int]*entry)
+		c.byNode[node] = na
+	}
+	na[attr] = e
+	c.pushFront(e)
+	c.st.BytesResident += b
+	c.st.Inserts++
+	if c.st.BytesResident > c.st.PeakBytes {
+		c.st.PeakBytes = c.st.BytesResident
+	}
+	for c.st.BytesResident > c.budget {
+		lru := c.tail
+		c.remove(lru)
+		c.st.Evictions++
+	}
+	return true
+}
+
+// Get returns the resident matrix for (node, attr), touching its recency
+// and counting a hit; a miss counts and returns nil.
+func (c *Cache) Get(node int32, attr int) *histogram.Matrix {
+	if c == nil {
+		return nil
+	}
+	e, ok := c.entries[Key{Node: node, Attr: attr}]
+	if !ok {
+		c.st.Misses++
+		return nil
+	}
+	c.st.Hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.mat
+}
+
+// Has reports residency without touching recency or counters — used for
+// all-or-nothing install checks that must not skew the hit statistics.
+func (c *Cache) Has(node int32, attr int) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.entries[Key{Node: node, Attr: attr}]
+	return ok
+}
+
+// Drop removes every entry belonging to node (no-op when absent). Dropped
+// entries are not counted as evictions.
+func (c *Cache) Drop(node int32) {
+	if c == nil {
+		return
+	}
+	na := c.byNode[node]
+	if na == nil {
+		return
+	}
+	for _, attr := range sortedAttrs(na) {
+		c.remove(na[attr])
+	}
+}
+
+// PartitionX replaces every resident entry of node with the two column
+// slices an axis split at local boundary leftW induces: left keeps X bins
+// [0, leftW), right keeps [leftW, xbins) re-based at zero — exactly the
+// matrices the children's own scans would accumulate. Attributes are
+// visited in ascending order; per attribute the parent entry is removed,
+// then the left and right slices inserted (each insert may evict, so under
+// a tight budget a slice inserted early can be evicted by a later one —
+// deterministically). Entries whose X width does not admit the boundary
+// (leftW outside (0, xbins)) are dropped instead of sliced.
+func (c *Cache) PartitionX(node, left, right int32, leftW int) {
+	if c == nil {
+		return
+	}
+	na := c.byNode[node]
+	if na == nil {
+		return
+	}
+	c.st.Partitions++
+	for _, attr := range sortedAttrs(na) {
+		e, ok := na[attr]
+		if !ok {
+			continue // evicted by an earlier slice insert this call
+		}
+		m := e.mat
+		c.remove(e)
+		if leftW <= 0 || leftW >= m.XBins() {
+			continue
+		}
+		c.Put(left, attr, m.SliceX(0, leftW))
+		c.Put(right, attr, m.SliceX(leftW, m.XBins()))
+	}
+}
+
+// sortedAttrs returns the node's resident attributes in ascending order —
+// the deterministic iteration order for Drop and PartitionX.
+func sortedAttrs(na map[int]*entry) []int {
+	attrs := make([]int, 0, len(na))
+	for a := range na {
+		attrs = append(attrs, a)
+	}
+	for i := 1; i < len(attrs); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && attrs[j] < attrs[j-1]; j-- {
+			attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+		}
+	}
+	return attrs
+}
+
+// remove unlinks e from the recency list and both maps and releases its
+// budget bytes.
+func (c *Cache) remove(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	na := c.byNode[e.key.Node]
+	delete(na, e.key.Attr)
+	if len(na) == 0 {
+		delete(c.byNode, e.key.Node)
+	}
+	c.st.BytesResident -= e.bytes
+	e.mat = nil
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

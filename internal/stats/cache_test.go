@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"testing"
+
+	"cmpdt/internal/histogram"
+)
+
+// mat builds an xbins x ybins x classes matrix whose cell (x, y, c) holds
+// seed+x*100+y*10+c, so content equality checks are meaningful.
+func mat(xbins, ybins, classes, seed int) *histogram.Matrix {
+	m := histogram.NewMatrix(xbins, ybins, classes)
+	for x := 0; x < xbins; x++ {
+		for y := 0; y < ybins; y++ {
+			for c := 0; c < classes; c++ {
+				n := seed + x*100 + y*10 + c
+				for i := 0; i < n%7; i++ {
+					m.Add(x, y, c)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func sameMat(a, b *histogram.Matrix) bool {
+	if a.XBins() != b.XBins() || a.YBins() != b.YBins() || a.Classes() != b.Classes() {
+		return false
+	}
+	for x := 0; x < a.XBins(); x++ {
+		for y := 0; y < a.YBins(); y++ {
+			ac, bc := a.Cell(x, y), b.Cell(x, y)
+			for c := range ac {
+				if ac[c] != bc[c] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestCacheNilSafety(t *testing.T) {
+	var c *Cache
+	if c != New(0) || New(-1) != nil {
+		t.Fatal("non-positive budget must return a nil (disabled) cache")
+	}
+	if c.Put(1, 2, mat(2, 2, 2, 0)) {
+		t.Error("Put on nil cache must report false")
+	}
+	if c.Get(1, 2) != nil || c.Has(1, 2) {
+		t.Error("nil cache must miss everything")
+	}
+	c.Drop(1)
+	c.PartitionX(1, 2, 3, 1)
+	if c.Stats() != (Stats{}) || c.Budget() != 0 {
+		t.Error("nil cache must report zero stats and budget")
+	}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := New(1 << 20)
+	m := mat(4, 3, 2, 1)
+	if !c.Put(7, 2, m) {
+		t.Fatal("Put within budget must succeed")
+	}
+	if !c.Has(7, 2) || c.Has(7, 3) || c.Has(8, 2) {
+		t.Fatal("Has must reflect exactly the inserted key")
+	}
+	if got := c.Get(7, 2); got != m {
+		t.Fatal("Get must return the donated matrix by reference")
+	}
+	if c.Get(7, 3) != nil {
+		t.Fatal("Get on an absent key must return nil")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 || st.Entries != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if want := m.MemoryBytes() + entryOverhead; st.BytesResident != want || st.PeakBytes != want {
+		t.Fatalf("bytes resident %d, peak %d, want %d", st.BytesResident, st.PeakBytes, want)
+	}
+	// Replacement keeps one entry and re-accounts bytes.
+	m2 := mat(2, 2, 2, 9)
+	c.Put(7, 2, m2)
+	st = c.Stats()
+	if st.Entries != 1 || st.BytesResident != m2.MemoryBytes()+entryOverhead {
+		t.Fatalf("after replace: %+v", st)
+	}
+	if c.Get(7, 2) != m2 {
+		t.Fatal("replace must expose the new matrix")
+	}
+}
+
+func TestCacheOversizeRejected(t *testing.T) {
+	m := mat(8, 8, 4, 1)
+	c := New(m.MemoryBytes()) // payload alone fills it; overhead pushes past
+	if c.Put(1, 0, m) {
+		t.Fatal("entry larger than the whole budget must be refused")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.BytesResident != 0 || st.Inserts != 0 {
+		t.Fatalf("refused Put must leave no trace: %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	m := mat(4, 4, 2, 1)
+	per := m.MemoryBytes() + entryOverhead
+	c := New(3 * per) // room for exactly three entries of this shape
+	for a := 0; a < 3; a++ {
+		c.Put(1, a, mat(4, 4, 2, a))
+	}
+	c.Get(1, 0) // touch 0: recency now 0, 2, 1 (most to least)
+	c.Put(1, 3, mat(4, 4, 2, 3))
+	if c.Has(1, 1) {
+		t.Fatal("least-recently-used entry (1,1) must be evicted")
+	}
+	for _, a := range []int{0, 2, 3} {
+		if !c.Has(1, a) {
+			t.Fatalf("entry (1,%d) must survive", a)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.BytesResident != 3*per {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	// Peak counts the transient residency at insert time, before the
+	// eviction pass brings the cache back under budget.
+	if st.PeakBytes != 4*per {
+		t.Fatalf("peak %d, want %d", st.PeakBytes, 4*per)
+	}
+}
+
+func TestCacheDrop(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(1, 0, mat(2, 2, 2, 0))
+	c.Put(1, 1, mat(2, 2, 2, 1))
+	c.Put(2, 0, mat(2, 2, 2, 2))
+	c.Drop(1)
+	c.Drop(99) // absent node: no-op
+	if c.Has(1, 0) || c.Has(1, 1) || !c.Has(2, 0) {
+		t.Fatal("Drop must remove exactly node 1's entries")
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatal("Drop must not count as eviction")
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries %d, want 1", st.Entries)
+	}
+}
+
+func TestCachePartitionX(t *testing.T) {
+	c := New(1 << 20)
+	m0 := mat(6, 3, 2, 11)
+	m1 := mat(6, 5, 2, 23)
+	c.Put(4, 0, m0.Clone())
+	c.Put(4, 1, m1.Clone())
+	c.PartitionX(4, 9, 10, 4)
+	if c.Has(4, 0) || c.Has(4, 1) {
+		t.Fatal("parent entries must be gone after PartitionX")
+	}
+	for _, tc := range []struct {
+		node int32
+		attr int
+		want *histogram.Matrix
+	}{
+		{9, 0, m0.SliceX(0, 4)},
+		{10, 0, m0.SliceX(4, 6)},
+		{9, 1, m1.SliceX(0, 4)},
+		{10, 1, m1.SliceX(4, 6)},
+	} {
+		got := c.Get(tc.node, tc.attr)
+		if got == nil || !sameMat(got, tc.want) {
+			t.Fatalf("child (%d,%d) slice mismatch", tc.node, tc.attr)
+		}
+	}
+	if st := c.Stats(); st.Partitions != 1 {
+		t.Fatalf("partitions %d, want 1", st.Partitions)
+	}
+	// An out-of-range boundary drops the entries instead of slicing.
+	c2 := New(1 << 20)
+	c2.Put(4, 0, m0.Clone())
+	c2.PartitionX(4, 9, 10, 6)
+	if c2.Has(4, 0) || c2.Has(9, 0) || c2.Has(10, 0) {
+		t.Fatal("boundary at xbins must drop, not slice")
+	}
+	c2.PartitionX(77, 1, 2, 1) // absent node: no-op beyond the counter
+}
+
+// PartitionX under a budget so tight the slices evict each other must stay
+// deterministic and keep accounting exact.
+func TestCachePartitionTightBudget(t *testing.T) {
+	m := mat(8, 4, 2, 3)
+	c := New(m.MemoryBytes() + entryOverhead)
+	c.Put(5, 0, m)
+	c.PartitionX(5, 6, 7, 3)
+	// Left slice inserted first, right second; both fit individually, so
+	// the right insert evicts the left.
+	if c.Has(6, 0) {
+		t.Fatal("left slice should have been evicted by the right insert")
+	}
+	if !c.Has(7, 0) {
+		t.Fatal("right slice must be resident")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+	want := m.SliceX(3, 8).MemoryBytes() + entryOverhead
+	if st.BytesResident != want {
+		t.Fatalf("bytes %d, want %d", st.BytesResident, want)
+	}
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"testing"
+
+	"cmpdt/internal/histogram"
+)
+
+// refEntry mirrors one resident cache entry in the reference model. The
+// model keeps its own clone of every matrix so aliasing bugs in the cache
+// (slicing or donating the wrong backing array) surface as content
+// mismatches.
+type refEntry struct {
+	key   Key
+	mat   *histogram.Matrix
+	bytes int64
+}
+
+// refCache is the exact reference: a plain MRU-first slice with the same
+// budget/eviction/partition semantics the real cache promises. Everything
+// is O(n) and obviously correct.
+type refCache struct {
+	budget  int64
+	bytes   int64
+	recency []*refEntry // index 0 = most recent
+	st      Stats
+}
+
+func (r *refCache) find(k Key) int {
+	for i, e := range r.recency {
+		if e.key == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refCache) removeAt(i int) {
+	e := r.recency[i]
+	r.bytes -= e.bytes
+	r.recency = append(r.recency[:i], r.recency[i+1:]...)
+}
+
+func (r *refCache) put(node int32, attr int, m *histogram.Matrix) bool {
+	b := m.MemoryBytes() + entryOverhead
+	if b > r.budget {
+		return false
+	}
+	k := Key{Node: node, Attr: attr}
+	if i := r.find(k); i >= 0 {
+		r.removeAt(i)
+	}
+	r.recency = append([]*refEntry{{key: k, mat: m.Clone(), bytes: b}}, r.recency...)
+	r.bytes += b
+	r.st.Inserts++
+	if r.bytes > r.st.PeakBytes {
+		r.st.PeakBytes = r.bytes
+	}
+	for r.bytes > r.budget {
+		r.removeAt(len(r.recency) - 1)
+		r.st.Evictions++
+	}
+	return true
+}
+
+func (r *refCache) get(node int32, attr int) *histogram.Matrix {
+	i := r.find(Key{Node: node, Attr: attr})
+	if i < 0 {
+		r.st.Misses++
+		return nil
+	}
+	r.st.Hits++
+	e := r.recency[i]
+	r.recency = append(r.recency[:i], r.recency[i+1:]...)
+	r.recency = append([]*refEntry{e}, r.recency...)
+	return e.mat
+}
+
+func (r *refCache) drop(node int32) {
+	for i := len(r.recency) - 1; i >= 0; i-- {
+		if r.recency[i].key.Node == node {
+			r.removeAt(i)
+		}
+	}
+}
+
+func (r *refCache) partitionX(node, left, right int32, leftW int) {
+	var attrs []int
+	for _, e := range r.recency {
+		if e.key.Node == node {
+			attrs = append(attrs, e.key.Attr)
+		}
+	}
+	if attrs == nil {
+		return
+	}
+	for i := 1; i < len(attrs); i++ {
+		for j := i; j > 0 && attrs[j] < attrs[j-1]; j-- {
+			attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+		}
+	}
+	r.st.Partitions++
+	for _, a := range attrs {
+		i := r.find(Key{Node: node, Attr: a})
+		if i < 0 {
+			continue // evicted by an earlier slice insert this call
+		}
+		m := r.recency[i].mat
+		r.removeAt(i)
+		if leftW <= 0 || leftW >= m.XBins() {
+			continue
+		}
+		r.put(left, a, m.SliceX(0, leftW))
+		r.put(right, a, m.SliceX(leftW, m.XBins()))
+	}
+}
+
+// FuzzStatsCache drives the real cache and the reference model through the
+// same decoded operation sequence and demands identical residency, budget
+// accounting, counters, and matrix contents after every step.
+func FuzzStatsCache(f *testing.F) {
+	f.Add([]byte{1, 0x00, 0x11, 0x22})
+	f.Add([]byte{3, 0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87})
+	f.Add([]byte{7, 0x03, 0x13, 0x23, 0x33, 0x43})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		// Budget sized to hold only a few of the 160-580-byte entries
+		// below, so evictions are common; the smallest budgets also
+		// refuse the largest matrices outright.
+		budget := int64(data[0]%8)*700 + 400
+		c := New(budget)
+		ref := &refCache{budget: budget}
+		data = data[1:]
+
+		for step := 0; step+2 < len(data); step += 3 {
+			op, n, x := data[step], data[step+1], data[step+2]
+			node := int32(n % 6)
+			attr := int(x % 4)
+			switch op % 5 {
+			case 0, 1: // put (weighted: inserts drive everything else)
+				// Dimensions vary with (node, attr) and contents with the
+				// step, so distinct entries are distinguishable.
+				m := mat(2+int(node+int32(attr))%5, 2+attr, 2, step)
+				if got, want := c.Put(node, attr, m.Clone()), ref.put(node, attr, m); got != want {
+					t.Fatalf("step %d: Put(%d,%d) = %v, ref %v", step, node, attr, got, want)
+				}
+			case 2: // get
+				got, want := c.Get(node, attr), ref.get(node, attr)
+				if (got == nil) != (want == nil) {
+					t.Fatalf("step %d: Get(%d,%d) presence mismatch", step, node, attr)
+				}
+				if got != nil && !sameMat(got, want) {
+					t.Fatalf("step %d: Get(%d,%d) content mismatch", step, node, attr)
+				}
+			case 3: // drop
+				c.Drop(node)
+				ref.drop(node)
+			case 4: // partition: children land in a disjoint id range
+				left, right := 6+2*node, 7+2*node
+				leftW := int(x % 9) // 0 and large values exercise the drop path
+				c.PartitionX(node, left, right, leftW)
+				ref.partitionX(node, left, right, leftW)
+				// Grandchild ids would collide back into [6, 20); fold the
+				// children back into the parent id space via drop-free puts
+				// only through later ops — nothing to do here.
+			}
+			st := c.Stats()
+			if st.BytesResident != ref.bytes || st.Entries != len(ref.recency) {
+				t.Fatalf("step %d: residency %d bytes/%d entries, ref %d/%d",
+					step, st.BytesResident, st.Entries, ref.bytes, len(ref.recency))
+			}
+		}
+
+		// Full end-state comparison: counters first (Get below would skew
+		// them), then per-entry residency and contents in model order.
+		st := c.Stats()
+		ref.st.BytesResident = ref.bytes
+		ref.st.Entries = len(ref.recency)
+		if st.Hits != ref.st.Hits || st.Misses != ref.st.Misses ||
+			st.Inserts != ref.st.Inserts || st.Evictions != ref.st.Evictions ||
+			st.Partitions != ref.st.Partitions || st.PeakBytes != ref.st.PeakBytes ||
+			st.BytesResident != ref.st.BytesResident || st.Entries != ref.st.Entries {
+			t.Fatalf("final stats %+v, ref %+v", st, ref.st)
+		}
+		for _, e := range ref.recency {
+			got := c.Get(e.key.Node, e.key.Attr)
+			if got == nil {
+				t.Fatalf("entry %v resident in ref, absent in cache", e.key)
+			}
+			if !sameMat(got, e.mat) {
+				t.Fatalf("entry %v content mismatch", e.key)
+			}
+		}
+	})
+}
